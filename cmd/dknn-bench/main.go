@@ -1,0 +1,93 @@
+// Command dknn-bench regenerates the paper's evaluation: it runs every
+// experiment in the reconstructed grid (DESIGN.md §5) and prints the
+// figure/table data that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	dknn-bench [-profile full|smoke] [-only fig5,table3] [-markdown]
+//
+// The full profile is paper-scale (tens of thousands of objects; expect
+// minutes per experiment). The smoke profile runs the same grid at unit
+// scale in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dmknn/internal/exp"
+)
+
+func main() {
+	profileName := flag.String("profile", "smoke", "experiment scale: full or smoke")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	seeds := flag.Int("seeds", 1, "repetitions per cell with distinct workload seeds (mean reported)")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var profile exp.Profile
+	switch *profileName {
+	case "full":
+		profile = exp.FullProfile()
+	case "smoke":
+		profile = exp.SmokeProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "dknn-bench: unknown profile %q (want full or smoke)\n", *profileName)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Printf("# dknn-bench profile=%s\n\n", *profileName)
+	for _, e := range exp.Suite(profile) {
+		if !selected(e.ID) {
+			continue
+		}
+		e.Seeds = *seeds
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.Render())
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if selected("table2") {
+		out, err := profile.RunTable2()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: table2: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,134 @@
+// Command dknn-viz renders a live ASCII view of a running simulation:
+// objects as dots, query focal points as '@', and the current answer
+// members of the first query as '#'. It is a debugging and demo aid —
+// watching the answer set follow the query around makes the protocol's
+// behavior tangible.
+//
+// Usage:
+//
+//	dknn-viz [-n 400] [-queries 3] [-k 8] [-ticks 200] [-fps 10]
+//	         [-width 100] [-height 40] [-plain]
+//
+// -plain suppresses ANSI cursor control (one frame after another), for
+// piping to a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/sim"
+	"dmknn/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 400, "number of objects")
+	queries := flag.Int("queries", 3, "number of queries")
+	k := flag.Int("k", 8, "neighbors per query")
+	ticks := flag.Int("ticks", 200, "frames to render")
+	fps := flag.Float64("fps", 10, "frames per second")
+	width := flag.Int("width", 100, "view width, characters")
+	height := flag.Int("height", 40, "view height, characters")
+	plain := flag.Bool("plain", false, "no ANSI cursor control")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := workload.Quick()
+	cfg.NumObjects = *n
+	cfg.NumQueries = *queries
+	cfg.K = *k
+	cfg.Seed = *seed
+	cfg.DisableAudit = true
+
+	proto := core.DefaultConfig()
+	proto.HorizonTicks = 8
+	proto.MinProbeRadius = 100
+	method, err := core.New(proto)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := sim.NewEngine(cfg, method)
+	if err != nil {
+		fatal(err)
+	}
+	env := eng.Env()
+
+	frame := make([][]byte, *height)
+	for i := range frame {
+		frame[i] = make([]byte, *width)
+	}
+	interval := time.Duration(float64(time.Second) / *fps)
+
+	for t := 0; t < *ticks; t++ {
+		if err := eng.Step(); err != nil {
+			fatal(err)
+		}
+		render(frame, env, method)
+		if !*plain {
+			fmt.Print("\033[H\033[2J")
+		}
+		var b strings.Builder
+		for _, row := range frame {
+			b.Write(row)
+			b.WriteByte('\n')
+		}
+		up := env.Net.Counters().Sent(0)
+		fmt.Printf("%stick %-4d  uplinks so far %-8d  ('.' object, '#' answer member, '@' query)\n",
+			b.String(), eng.Now(), up)
+		time.Sleep(interval)
+	}
+}
+
+// render paints the world state into the character frame.
+func render(frame [][]byte, env *sim.Env, method *core.Method) {
+	h, w := len(frame), len(frame[0])
+	for _, row := range frame {
+		for i := range row {
+			row[i] = ' '
+		}
+	}
+	world := env.World
+	plot := func(p geo.Point, ch byte) {
+		x := int(float64(w) * (p.X - world.Min.X) / world.Width())
+		y := int(float64(h) * (p.Y - world.Min.Y) / world.Height())
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
+		}
+		// Screen y grows downward; world y grows upward.
+		frame[h-1-y][x] = ch
+	}
+	members := map[model.ObjectID]bool{}
+	for i := range env.Queries {
+		for _, nb := range method.ServerAnswer(env.Queries[i].Spec.ID).Neighbors {
+			members[nb.ID] = true
+		}
+	}
+	for i := range env.Objects {
+		ch := byte('.')
+		if members[env.Objects[i].ID] {
+			ch = '#'
+		}
+		plot(env.Objects[i].Pos, ch)
+	}
+	for i := range env.Queries {
+		plot(env.Queries[i].State.Pos, '@')
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dknn-viz: %v\n", err)
+	os.Exit(1)
+}

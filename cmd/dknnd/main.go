@@ -1,0 +1,95 @@
+// Command dknnd runs a deployed DKNN query server: a TCP daemon that
+// moving objects and query clients (cmd/dknn-agent) connect to.
+//
+// Usage:
+//
+//	dknnd [-addr :7App7] [-world 10000] [-grid 64] [-tick 1s]
+//	      [-vobj 30] [-vqry 30] [-horizon 20] [-slack 10] [-theta 0]
+//
+// The daemon prints its listen address and, once a second, a one-line
+// status with connected clients and registered queries. Stop with
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmknn"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7707", "listen address")
+	world := flag.Float64("world", 10000, "world side length in meters (square, origin at 0,0)")
+	gridN := flag.Int("grid", 64, "broadcast grid cells per side")
+	tick := flag.Duration("tick", time.Second, "evaluation interval")
+	vobj := flag.Float64("vobj", 30, "max object speed, m/s")
+	vqry := flag.Float64("vqry", 30, "max query speed, m/s")
+	horizon := flag.Int("horizon", 20, "monitor refresh horizon, ticks")
+	slack := flag.Int("slack", 10, "answer buffer size m")
+	theta := flag.Float64("theta", 0, "in-boundary movement threshold, meters")
+	quiet := flag.Bool("quiet", false, "suppress the periodic status line")
+	httpAddr := flag.String("http", "", "serve operational stats as JSON on this address (e.g. :8080)")
+	flag.Parse()
+
+	srv, err := dmknn.ListenAndServe(*addr, dmknn.ServerOptions{
+		World:          dmknn.Rect{MinX: 0, MinY: 0, MaxX: *world, MaxY: *world},
+		GridCols:       *gridN,
+		GridRows:       *gridN,
+		TickInterval:   *tick,
+		MaxObjectSpeed: *vobj,
+		MaxQuerySpeed:  *vqry,
+		Protocol: dmknn.Protocol{
+			HorizonTicks: *horizon,
+			AnswerSlack:  *slack,
+			ThetaInside:  *theta,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dknnd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dknnd: listening on %s (world %.0fm², tick %v)\n", srv.Addr(), *world, *tick)
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(srv.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "dknnd: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("dknnd: stats at http://%s/stats\n", *httpAddr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	status := time.NewTicker(time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\ndknnd: shutting down")
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dknnd: close: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case <-status.C:
+			if !*quiet {
+				fmt.Printf("dknnd: clients=%d queries=%d\n", srv.ClientCount(), srv.QueryCount())
+			}
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package dmknn
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/nettcp"
+	"dmknn/internal/netudp"
+	"dmknn/internal/protocol"
+	"dmknn/internal/shard"
+	"dmknn/internal/transport"
+)
+
+// ServerOptions configures a deployed query server.
+type ServerOptions struct {
+	// World is the coordinate region the population moves in. Required.
+	World Rect
+	// GridCols/GridRows define the broadcast cell layout (default
+	// 64×64).
+	GridCols, GridRows int
+	// TickInterval is the evaluation interval Δt (default 1s). Server
+	// and clients derive the shared tick number from the wall clock, so
+	// hosts must be clock-synchronized to a fraction of this interval.
+	TickInterval time.Duration
+	// Speed bounds of the population in m/s; the protocol's safety slack
+	// is sized from them (defaults 30/30).
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	// Protocol tunes the DKNN protocol.
+	Protocol Protocol
+	// Shards, when > 1, partitions the server's query state over that
+	// many parallel shards (interior scaling on multicore hosts; the
+	// wire protocol is unchanged).
+	Shards int
+	// Transport selects the medium: TransportTCP (default; reliable,
+	// framed, with disconnect notifications) or TransportUDP (datagrams
+	// — lossy and unordered, the medium class the protocol was designed
+	// for; silent clients expire after three horizons).
+	Transport string
+}
+
+// Transport names for ServerOptions/ClientOptions.
+const (
+	TransportTCP = "tcp"
+	TransportUDP = "udp"
+)
+
+func (o ServerOptions) withDefaults() (ServerOptions, error) {
+	if o.World == (Rect{}) {
+		return o, fmt.Errorf("dmknn: ServerOptions.World is required")
+	}
+	if o.GridCols == 0 {
+		o.GridCols = 64
+	}
+	if o.GridRows == 0 {
+		o.GridRows = 64
+	}
+	if o.TickInterval == 0 {
+		o.TickInterval = time.Second
+	}
+	if o.MaxObjectSpeed == 0 {
+		o.MaxObjectSpeed = 30
+	}
+	if o.MaxQuerySpeed == 0 {
+		o.MaxQuerySpeed = 30
+	}
+	switch o.Transport {
+	case "", TransportTCP, TransportUDP:
+	default:
+		return o, fmt.Errorf("dmknn: unknown transport %q", o.Transport)
+	}
+	return o, nil
+}
+
+// wallClock converts the wall time to the shared tick number.
+func wallClock(interval time.Duration) func() model.Tick {
+	return func() model.Tick {
+		return model.Tick(time.Now().UnixNano() / int64(interval))
+	}
+}
+
+// serverCore is the common surface of the single and sharded servers.
+type serverCore interface {
+	transport.ServerHandler
+	Tick(model.Tick)
+	Finalize(model.Tick) bool
+	Answer(model.QueryID) model.Answer
+	QueryCount() int
+	BusyTime() time.Duration
+}
+
+// serverTransport is the common surface of the TCP and UDP endpoints.
+type serverTransport interface {
+	Addr() net.Addr
+	AttachHandler(transport.ServerHandler)
+	Side() transport.ServerSide
+	Serve() error
+	Close() error
+	ClientCount() int
+	Counters() metrics.Counters
+}
+
+// Server is a deployed DKNN query server: a network endpoint that moving
+// objects and query clients connect to.
+type Server struct {
+	tcp    serverTransport
+	core   serverCore
+	ticker *time.Ticker
+	expire func() // UDP liveness sweep; nil on TCP
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts a query server on addr (":0" picks a port; see
+// Server.Addr). The returned server is running; call Close to stop it.
+func ListenAndServe(addr string, opts ServerOptions) (*Server, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	world := opts.World.internal()
+	geom := grid.NewGeometry(world, opts.GridCols, opts.GridRows)
+	var (
+		tcp    serverTransport
+		expire func()
+	)
+	if opts.Transport == TransportUDP {
+		liveness := 3 * time.Duration(max(1, opts.Protocol.HorizonTicks)) * opts.TickInterval
+		if opts.Protocol.HorizonTicks == 0 {
+			liveness = 60 * opts.TickInterval
+		}
+		udp, uerr := netudp.Listen(addr, geom, liveness)
+		if uerr != nil {
+			return nil, uerr
+		}
+		tcp = udp
+		expire = func() { udp.ExpireSilent() }
+	} else {
+		t, terr := nettcp.Listen(addr, geom)
+		if terr != nil {
+			return nil, terr
+		}
+		tcp = t
+	}
+	cfg := opts.Protocol.internal().WithWorldDefault(world)
+	deps := core.ServerDeps{
+		Side:           tcp.Side(),
+		Now:            wallClock(opts.TickInterval),
+		DT:             opts.TickInterval.Seconds(),
+		MaxObjectSpeed: opts.MaxObjectSpeed,
+		MaxQuerySpeed:  opts.MaxQuerySpeed,
+		// Over a real network, probe replies need a round trip: budget
+		// one tick each way so Finalize does not conclude a probe before
+		// the replies can possibly have arrived.
+		LatencyTicks: 1,
+	}
+	var srv serverCore
+	var err2 error
+	if opts.Shards > 1 {
+		srv, err2 = shard.New(opts.Shards, cfg, deps)
+	} else {
+		srv, err2 = core.NewServer(cfg, deps)
+	}
+	if err2 != nil {
+		tcp.Close()
+		return nil, err2
+	}
+	tcp.AttachHandler(srv)
+
+	s := &Server{
+		tcp:    tcp,
+		core:   srv,
+		ticker: time.NewTicker(opts.TickInterval),
+		expire: expire,
+		done:   make(chan struct{}),
+	}
+	now := wallClock(opts.TickInterval)
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		_ = tcp.Serve()
+	}()
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-s.ticker.C:
+				t := now()
+				if s.expire != nil {
+					s.expire()
+				}
+				srv.Tick(t)
+				for i := 0; i < 8 && srv.Finalize(t); i++ {
+				}
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listen address ("host:port").
+func (s *Server) Addr() string { return s.tcp.Addr().String() }
+
+// Answer returns the server's current answer for a registered query.
+func (s *Server) Answer(q QueryID) Answer {
+	return fromAnswer(s.core.Answer(model.QueryID(q)))
+}
+
+// QueryCount returns the number of registered continuous queries.
+func (s *Server) QueryCount() int { return s.core.QueryCount() }
+
+// Stats is an operational snapshot of a deployed server.
+type Stats struct {
+	Clients        int           `json:"clients"`
+	Queries        int           `json:"queries"`
+	UplinkMsgs     uint64        `json:"uplink_msgs"`
+	DownlinkMsgs   uint64        `json:"downlink_msgs"`
+	BroadcastMsgs  uint64        `json:"broadcast_msgs"`
+	UplinkBytes    uint64        `json:"uplink_bytes"`
+	DownlinkBytes  uint64        `json:"downlink_bytes"`
+	BroadcastBytes uint64        `json:"broadcast_bytes"`
+	BusyTime       time.Duration `json:"busy_ns"`
+}
+
+// Stats returns current operational counters.
+func (s *Server) Stats() Stats {
+	c := s.tcp.Counters()
+	return Stats{
+		Clients:        s.tcp.ClientCount(),
+		Queries:        s.core.QueryCount(),
+		UplinkMsgs:     c.Sent(metrics.Uplink),
+		DownlinkMsgs:   c.Sent(metrics.Downlink),
+		BroadcastMsgs:  c.Sent(metrics.Broadcast),
+		UplinkBytes:    c.SentBytes(metrics.Uplink),
+		DownlinkBytes:  c.SentBytes(metrics.Downlink),
+		BroadcastBytes: c.SentBytes(metrics.Broadcast),
+		BusyTime:       s.core.BusyTime(),
+	}
+}
+
+// ClientCount returns the number of connected clients.
+func (s *Server) ClientCount() int { return s.tcp.ClientCount() }
+
+// Close stops the evaluation loop and the TCP endpoint.
+func (s *Server) Close() error {
+	close(s.done)
+	s.ticker.Stop()
+	err := s.tcp.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ClientOptions configures a deployed object or query client. The world,
+// tick interval, transport, and protocol settings must match the
+// server's.
+type ClientOptions struct {
+	World        Rect
+	TickInterval time.Duration
+	Protocol     Protocol
+	// Transport must match the server: TransportTCP (default) or
+	// TransportUDP.
+	Transport string
+}
+
+func (o ClientOptions) withDefaults() (ClientOptions, error) {
+	if o.World == (Rect{}) {
+		return o, fmt.Errorf("dmknn: ClientOptions.World is required")
+	}
+	if o.TickInterval == 0 {
+		o.TickInterval = time.Second
+	}
+	switch o.Transport {
+	case "", TransportTCP, TransportUDP:
+	default:
+		return o, fmt.Errorf("dmknn: unknown transport %q", o.Transport)
+	}
+	return o, nil
+}
+
+// clientConn is the common surface of the TCP and UDP client sockets.
+type clientConn interface {
+	transport.ClientSide
+	Close() error
+}
+
+func dialTransport(o ClientOptions, addr string, id model.ObjectID, h transport.ClientHandler) (clientConn, error) {
+	if o.Transport == TransportUDP {
+		return netudp.Dial(addr, id, h)
+	}
+	return nettcp.Dial(addr, id, h)
+}
+
+// keepaliveSide wraps a datagram socket and tracks the last transmission,
+// so the tick loop can announce the client when it has been silent: a UDP
+// server only knows addresses it has heard from, and expires silent ones.
+type keepaliveSide struct {
+	clientConn
+	last atomic.Int64 // unix nanos of the last uplink
+}
+
+func (k *keepaliveSide) Uplink(m protocol.Message) {
+	k.last.Store(time.Now().UnixNano())
+	k.clientConn.Uplink(m)
+}
+
+// keepaliveEvery returns how often a silent UDP client must announce
+// itself: a third of the server's liveness window.
+func keepaliveEvery(o ClientOptions) time.Duration {
+	h := o.Protocol.HorizonTicks
+	if h <= 0 {
+		h = 20
+	}
+	return time.Duration(h) * o.TickInterval
+}
+
+// maybeKeepalive sends a position announcement if the client has been
+// silent for the keepalive interval.
+func maybeKeepalive(k *keepaliveSide, every time.Duration, id model.ObjectID, pos geo.Point) {
+	if time.Since(time.Unix(0, k.last.Load())) < every {
+		return
+	}
+	k.Uplink(protocol.LocationReport{Object: id, Pos: pos})
+}
+
+// ObjectClient runs the object-side protocol agent against a deployed
+// server: it connects, answers probes, and transmits crossing events,
+// reading its own position from the supplied callback.
+type ObjectClient struct {
+	conn clientConn
+	// agent is set after the connection exists; the receive loop may
+	// deliver broadcasts before then, which are safely dropped (any
+	// missed install is re-broadcast within a horizon).
+	agent  atomic.Pointer[core.ObjectAgent]
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// DialObject connects object id to the server at addr. pos is the
+// client's position sensor; it is called from the agent's tick loop.
+func DialObject(addr string, id ObjectID, pos func() Point, opts ClientOptions) (*ObjectClient, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	oc := &ObjectClient{done: make(chan struct{})}
+	cfg := opts.Protocol.internal().WithWorldDefault(opts.World.internal())
+	now := wallClock(opts.TickInterval)
+
+	conn, err := dialTransport(opts, addr, model.ObjectID(id), transport.ClientHandlerFunc(func(m protocol.Message) {
+		if a := oc.agent.Load(); a != nil {
+			a.HandleServerMessage(m)
+		}
+	}))
+	if err != nil {
+		return nil, err
+	}
+	var side transport.ClientSide = conn
+	var ka *keepaliveSide
+	if opts.Transport == TransportUDP {
+		ka = &keepaliveSide{clientConn: conn}
+		side = ka
+	}
+	agent, err := core.NewObjectAgent(cfg, core.AgentDeps{
+		ID:   model.ObjectID(id),
+		Side: side,
+		Now:  now,
+		Pos:  func() geo.Point { return pos().internal() },
+		DT:   opts.TickInterval.Seconds(),
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	oc.conn = conn
+	oc.agent.Store(agent)
+	oc.ticker = time.NewTicker(opts.TickInterval)
+	oc.wg.Add(1)
+	go func() {
+		defer oc.wg.Done()
+		for {
+			select {
+			case <-oc.done:
+				return
+			case <-oc.ticker.C:
+				agent.Tick(now())
+				if ka != nil {
+					maybeKeepalive(ka, keepaliveEvery(opts), model.ObjectID(id), pos().internal())
+				}
+			}
+		}
+	}()
+	return oc, nil
+}
+
+// Close stops the agent and disconnects.
+func (oc *ObjectClient) Close() error {
+	close(oc.done)
+	oc.ticker.Stop()
+	err := oc.conn.Close()
+	oc.wg.Wait()
+	return err
+}
+
+// QueryClient runs the focal-device protocol agent for one continuous
+// query: it registers the query, keeps the server's track of the focal
+// point fresh, and receives answer updates.
+type QueryClient struct {
+	conn clientConn
+	// agent is set after the connection exists; see ObjectClient.agent.
+	agent  atomic.Pointer[core.QueryAgent]
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// DialQuery connects a focal client, registers a k-NN query, and invokes
+// onAnswer (may be nil) for every answer change. clientID must be unique
+// among all connected clients (objects and queries share the id space);
+// pos and vel are the focal device's sensors.
+func DialQuery(addr string, clientID ObjectID, query QueryID, k int,
+	pos func() Point, vel func() Vector, onAnswer func(Answer),
+	opts ClientOptions) (*QueryClient, error) {
+	return dialQuerySpec(addr, clientID,
+		model.QuerySpec{ID: model.QueryID(query), K: k},
+		pos, vel, onAnswer, opts)
+}
+
+func dialQuerySpec(addr string, clientID ObjectID, spec model.QuerySpec,
+	pos func() Point, vel func() Vector, onAnswer func(Answer),
+	opts ClientOptions) (*QueryClient, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	qc := &QueryClient{done: make(chan struct{})}
+	cfg := opts.Protocol.internal().WithWorldDefault(opts.World.internal())
+	now := wallClock(opts.TickInterval)
+
+	conn, err := dialTransport(opts, addr, model.ObjectID(clientID), transport.ClientHandlerFunc(func(m protocol.Message) {
+		if a := qc.agent.Load(); a != nil {
+			a.HandleServerMessage(m)
+		}
+	}))
+	if err != nil {
+		return nil, err
+	}
+	var side transport.ClientSide = conn
+	var ka *keepaliveSide
+	if opts.Transport == TransportUDP {
+		ka = &keepaliveSide{clientConn: conn}
+		side = ka
+	}
+	spec.Pos = pos().internal()
+	agent, err := core.NewQueryAgent(cfg, spec, core.QueryAgentDeps{
+		AgentDeps: core.AgentDeps{
+			ID:   model.ObjectID(clientID),
+			Side: side,
+			Now:  now,
+			Pos:  func() geo.Point { return pos().internal() },
+			DT:   opts.TickInterval.Seconds(),
+		},
+		Vel: func() geo.Vector { return vel().internal() },
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if onAnswer != nil {
+		agent.OnAnswer = func(a model.Answer) { onAnswer(fromAnswer(a)) }
+	}
+	qc.conn = conn
+	qc.agent.Store(agent)
+	qc.ticker = time.NewTicker(opts.TickInterval)
+	qc.wg.Add(1)
+	go func() {
+		defer qc.wg.Done()
+		for {
+			select {
+			case <-qc.done:
+				return
+			case <-qc.ticker.C:
+				agent.Tick(now())
+				if ka != nil {
+					maybeKeepalive(ka, keepaliveEvery(opts), model.ObjectID(clientID), pos().internal())
+				}
+			}
+		}
+	}()
+	return qc, nil
+}
+
+// DialRange connects a focal client and registers a continuous
+// range-monitoring query: the answer is every object within radius meters
+// of the moving focal point. Other parameters are as in DialQuery.
+func DialRange(addr string, clientID ObjectID, query QueryID, radius float64,
+	pos func() Point, vel func() Vector, onAnswer func(Answer),
+	opts ClientOptions) (*QueryClient, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("dmknn: non-positive range %v", radius)
+	}
+	return dialQuerySpec(addr, clientID,
+		model.QuerySpec{ID: model.QueryID(query), Range: radius},
+		pos, vel, onAnswer, opts)
+}
+
+// Answer returns the latest answer received from the server.
+func (qc *QueryClient) Answer() Answer { return fromAnswer(qc.agent.Load().Answer()) }
+
+// Close deregisters the query and disconnects.
+func (qc *QueryClient) Close() error {
+	qc.agent.Load().Deregister()
+	// Give the deregister frame a moment on the wire before tearing the
+	// connection down; a lost deregister is healed by the server's
+	// monitor hygiene but costs a few stray reports.
+	time.Sleep(10 * time.Millisecond)
+	close(qc.done)
+	qc.ticker.Stop()
+	err := qc.conn.Close()
+	qc.wg.Wait()
+	return err
+}

@@ -1,0 +1,52 @@
+// Geofence patrol: patrol cars driving a Manhattan road grid each track
+// their k nearest field units continuously. The example demonstrates the
+// road-network mobility model and the protocol's accuracy knob θ: with
+// θ = 0 the answers are exact; loosening θ cuts the message rate at a
+// bounded accuracy cost — pick the operating point your radio budget
+// affords.
+//
+//	go run ./examples/geofence-patrol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmknn"
+)
+
+func main() {
+	base := dmknn.SimConfig{
+		Method:         dmknn.MethodDKNN,
+		World:          dmknn.Rect{MinX: 0, MinY: 0, MaxX: 5000, MaxY: 5000},
+		GridCols:       32,
+		GridRows:       32,
+		NumObjects:     1500, // field units on the road grid
+		NumQueries:     12,   // patrol cars
+		K:              8,
+		MaxObjectSpeed: 15,
+		MaxQuerySpeed:  15,
+		Mobility:       dmknn.MobilityManhattan,
+		Ticks:          150,
+		Warmup:         20,
+		Seed:           23,
+	}
+
+	fmt.Println("θ (m)   uplink/s   exactness   mean recall")
+	for _, theta := range []float64{0, 10, 25, 50, 100} {
+		cfg := base
+		cfg.Protocol = dmknn.Protocol{
+			HorizonTicks:   10,
+			MinProbeRadius: 200,
+			ThetaInside:    theta,
+		}
+		rep, err := dmknn.Run(cfg)
+		if err != nil {
+			log.Fatalf("geofence-patrol: %v", err)
+		}
+		fmt.Printf("%5.0f %10.1f %11.3f %13.3f\n",
+			theta, rep.UplinkPerTick, rep.Exactness, rep.MeanRecall)
+	}
+	fmt.Println("\nθ=0 is the provably exact mode; each step up trades a little")
+	fmt.Println("rank accuracy near the answer boundary for fewer move reports.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: run the distributed moving-kNN engine and the two
+// centralized baselines on the same synthetic workload and compare the
+// wireless traffic they need to maintain identical continuous queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmknn"
+)
+
+func main() {
+	// A 2 km × 2 km city, 2 000 moving objects, 16 continuous queries,
+	// each asking for its 10 nearest objects once per second.
+	base := dmknn.SimConfig{
+		World:          dmknn.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000},
+		GridCols:       32,
+		GridRows:       32,
+		NumObjects:     2000,
+		NumQueries:     16,
+		K:              10,
+		MaxObjectSpeed: 15,
+		MaxQuerySpeed:  15,
+		Ticks:          120,
+		Warmup:         20,
+		Seed:           7,
+		Protocol:       dmknn.Protocol{HorizonTicks: 10, MinProbeRadius: 150},
+	}
+
+	fmt.Println("method  uplink/s  downlink+bcast/s  exactness  recall")
+	for _, method := range []string{dmknn.MethodCP, dmknn.MethodCI, dmknn.MethodDKNN} {
+		cfg := base
+		cfg.Method = method
+		cfg.CITau = 30
+		rep, err := dmknn.Run(cfg)
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		fmt.Printf("%-7s %9.1f %17.1f %10.3f %7.3f\n",
+			rep.Method, rep.UplinkPerTick,
+			rep.DownlinkPerTick+rep.BroadcastPerTick,
+			rep.Exactness, rep.MeanRecall)
+	}
+	fmt.Println("\nThe distributed protocol (dknn) maintains exact answers with a")
+	fmt.Println("fraction of the uplink messages the centralized designs need.")
+}

@@ -1,0 +1,3 @@
+module dmknn
+
+go 1.22

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// trackEpsilon absorbs float-summation noise when a client compares its
+// true position against a dead-reckoned track: iterated per-tick motion
+// and one-shot extrapolation differ by ~1e-12 m, which must not count as
+// a deviation (it would re-trigger the track-correction path every tick).
+// One micrometer is far below any physically meaningful threshold.
+const trackEpsilon = 1e-6
+
+// AgentDeps are the environment bindings of a client-side state machine:
+// how it reads its own position (a local sensor — free), how it transmits
+// (metered), and what time it is.
+type AgentDeps struct {
+	ID   model.ObjectID
+	Side transport.ClientSide
+	Now  func() model.Tick
+	// Pos reads the client's own current position.
+	Pos func() geo.Point
+	// DT is the duration of one tick in seconds.
+	DT float64
+}
+
+// ObjectAgent is the logic running on one moving data object: it answers
+// probes, keeps the monitors installed on it, and transmits only on the
+// events the protocol defines.
+//
+// ObjectAgent is safe for concurrent use (the TCP client invokes
+// HandleServerMessage from its receive loop while a ticker drives Tick).
+type ObjectAgent struct {
+	cfg  Config
+	deps AgentDeps
+
+	mu       sync.Mutex
+	monitors map[model.QueryID]*agentMonitor
+	order    []model.QueryID // sorted, for deterministic send order
+}
+
+// NewObjectAgent returns an object-side agent.
+func NewObjectAgent(cfg Config, deps AgentDeps) (*ObjectAgent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ObjectAgent{
+		cfg:      cfg,
+		deps:     deps,
+		monitors: make(map[model.QueryID]*agentMonitor),
+	}, nil
+}
+
+// agentMonitor is the object's local copy of one installed query monitor.
+type agentMonitor struct {
+	epoch        uint32
+	qpos         geo.Point
+	qvel         geo.Vector
+	at           model.Tick
+	answerRadius float64
+	radius       float64
+	rangeMode    bool
+	inside       bool
+	lastReport   geo.Point
+	// lastSentAt is when this monitor last transmitted anything; inside
+	// objects re-affirm membership once per horizon if silent, which
+	// heals a membership report lost (or outrun by epochs) in flight.
+	lastSentAt model.Tick
+}
+
+// MonitorCount reports how many query monitors this agent currently
+// holds.
+func (a *ObjectAgent) MonitorCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.monitors)
+}
+
+// HandleServerMessage implements transport.ClientHandler.
+func (a *ObjectAgent) HandleServerMessage(msg protocol.Message) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch v := msg.(type) {
+	case protocol.ProbeRequest:
+		if p := a.deps.Pos(); v.Region.Contains(p) {
+			a.deps.Side.Uplink(protocol.ProbeReply{
+				Query: v.Query, Seq: v.Seq, Object: a.deps.ID, Pos: p,
+				At: a.deps.Now(),
+			})
+		}
+	case protocol.MonitorInstall:
+		a.handleInstall(v)
+	case protocol.MonitorCancel:
+		if mon, ok := a.monitors[v.Query]; ok && v.Epoch >= mon.epoch {
+			a.drop(v.Query)
+		}
+	}
+}
+
+func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall) {
+	prev, had := a.monitors[v.Query]
+	if had && v.Epoch < prev.epoch {
+		return // stale rebroadcast
+	}
+	p := a.deps.Pos()
+	d := p.Dist(v.QueryPos)
+	now := a.deps.Now()
+	if d > v.Radius {
+		// The install reached us (cell-granular broadcast covers more
+		// than the region) but we are outside the monitoring region. On
+		// a refresh install the server kept its inside set, so if it
+		// believed we were an answer member we must correct it before
+		// forgetting the query.
+		if v.Refresh && had && prev.inside {
+			a.deps.Side.Uplink(protocol.ExitReport{MemberReport: protocol.MemberReport{
+				Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
+			}})
+		}
+		a.drop(v.Query)
+		return
+	}
+	side := d <= v.AnswerRadius
+	reported := false
+	if v.Refresh {
+		// Report only the *change* of side relative to our previous
+		// state; the server's inside set was carried over, so this keeps
+		// it exact by induction. An inside member that has been silent
+		// for a full horizon re-affirms its membership — idempotent at
+		// the server, and it heals an enter-report that was lost or
+		// outrun by reinstall epochs in flight.
+		affirm := side && had && prev.inside &&
+			now-prev.lastSentAt >= model.Tick(a.cfg.HorizonTicks)
+		switch {
+		case side && (!(had && prev.inside) || affirm):
+			a.deps.Side.Uplink(protocol.EnterReport{MemberReport: protocol.MemberReport{
+				Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
+			}})
+			reported = true
+		case !side && had && prev.inside:
+			a.deps.Side.Uplink(protocol.ExitReport{MemberReport: protocol.MemberReport{
+				Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
+			}})
+			reported = true
+		}
+	}
+	// lastReport must track what the *server* knows about us. After a
+	// full probe the server rebuilt its state from our reply at the
+	// current position, and any report above carried the current
+	// position too; but a silent refresh carried nothing, so the
+	// server's copy is still our previous report — keep baselining
+	// against it or a drift accumulated before this install would never
+	// be transmitted.
+	last := p
+	sentAt := now
+	if v.Refresh && had && !reported {
+		last = prev.lastReport
+		sentAt = prev.lastSentAt
+	}
+	if !had {
+		a.order = append(a.order, v.Query)
+		sort.Slice(a.order, func(i, j int) bool { return a.order[i] < a.order[j] })
+	}
+	a.monitors[v.Query] = &agentMonitor{
+		epoch:        v.Epoch,
+		qpos:         v.QueryPos,
+		qvel:         v.QueryVel,
+		at:           v.At,
+		answerRadius: v.AnswerRadius,
+		radius:       v.Radius,
+		rangeMode:    v.RangeMode,
+		inside:       side,
+		lastReport:   last,
+		lastSentAt:   sentAt,
+	}
+}
+
+func (a *ObjectAgent) drop(q model.QueryID) {
+	if _, ok := a.monitors[q]; !ok {
+		return
+	}
+	delete(a.monitors, q)
+	for i, id := range a.order {
+		if id == q {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tick evaluates every installed monitor against the object's current
+// position and transmits crossing/leave/move events.
+func (a *ObjectAgent) Tick(now model.Tick) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.monitors) == 0 {
+		return
+	}
+	p := a.deps.Pos()
+	dt := a.deps.DT
+	theta := a.cfg.ThetaInside
+	var dropped []model.QueryID
+	for _, q := range a.order {
+		mon := a.monitors[q]
+		qhat := geo.DeadReckon(mon.qpos, mon.qvel, float64(now-mon.at)*dt)
+		d := p.Dist(qhat)
+		if d > mon.radius {
+			// Only answer-circle members must announce leaving — the
+			// server tracks membership through them. Annulus objects
+			// drop silently; their stale candidate entries are pruned at
+			// the next refresh.
+			if mon.inside {
+				a.deps.Side.Uplink(protocol.LeaveReport{MemberReport: protocol.MemberReport{
+					Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
+				}})
+			}
+			dropped = append(dropped, q)
+			continue
+		}
+		side := d <= mon.answerRadius
+		switch {
+		case side && !mon.inside:
+			a.deps.Side.Uplink(protocol.EnterReport{MemberReport: protocol.MemberReport{
+				Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
+			}})
+			mon.inside = true
+			mon.lastReport = p
+			mon.lastSentAt = now
+		case !side && mon.inside:
+			a.deps.Side.Uplink(protocol.ExitReport{MemberReport: protocol.MemberReport{
+				Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
+			}})
+			mon.inside = false
+			mon.lastReport = p
+			mon.lastSentAt = now
+		case side && !mon.rangeMode && p.Dist(mon.lastReport) > theta:
+			a.deps.Side.Uplink(protocol.MoveReport{MemberReport: protocol.MemberReport{
+				Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
+			}})
+			mon.lastReport = p
+			mon.lastSentAt = now
+		}
+	}
+	for _, q := range dropped {
+		a.drop(q)
+	}
+}
+
+// QueryAgentDeps extends the client bindings with the focal device's
+// velocity sensor.
+type QueryAgentDeps struct {
+	AgentDeps
+	// Vel reads the client's own current velocity.
+	Vel func() geo.Vector
+}
+
+// QueryAgent is the logic on the query's focal device: it registers the
+// query, corrects the server's dead-reckoned track when it deviates, and
+// receives answer updates.
+//
+// QueryAgent is safe for concurrent use.
+type QueryAgent struct {
+	cfg  Config
+	spec model.QuerySpec
+	deps QueryAgentDeps
+
+	mu         sync.Mutex
+	registered bool
+	lastPos    geo.Point
+	lastVel    geo.Vector
+	lastAt     model.Tick
+	answer     model.Answer
+	// OnAnswer, when set, is called (under the agent lock) with each
+	// received answer update.
+	OnAnswer func(model.Answer)
+}
+
+// NewQueryAgent returns a focal-client agent for the given query spec.
+func NewQueryAgent(cfg Config, spec model.QuerySpec, deps QueryAgentDeps) (*QueryAgent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &QueryAgent{cfg: cfg, spec: spec, deps: deps}, nil
+}
+
+// Tick registers the query on first call, then corrects the advertised
+// track whenever the true position deviates beyond the threshold.
+func (qc *QueryAgent) Tick(now model.Tick) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	pos, vel := qc.deps.Pos(), qc.deps.Vel()
+	if !qc.registered {
+		qc.deps.Side.Uplink(protocol.QueryRegister{
+			Query: qc.spec.ID,
+			K:     uint32(qc.spec.K),
+			Range: qc.spec.Range,
+			Pos:   pos,
+			Vel:   vel,
+			At:    now,
+		})
+		qc.registered = true
+		qc.lastPos, qc.lastVel, qc.lastAt = pos, vel, now
+		return
+	}
+	expect := geo.DeadReckon(qc.lastPos, qc.lastVel, float64(now-qc.lastAt)*qc.deps.DT)
+	if pos.Dist(expect) > qc.cfg.QueryDeviation+trackEpsilon {
+		qc.deps.Side.Uplink(protocol.QueryMove{
+			Query: qc.spec.ID,
+			Pos:   pos,
+			Vel:   vel,
+			At:    now,
+		})
+		qc.lastPos, qc.lastVel, qc.lastAt = pos, vel, now
+	}
+}
+
+// Deregister removes the continuous query from the server.
+func (qc *QueryAgent) Deregister() {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	qc.deps.Side.Uplink(protocol.QueryDeregister{Query: qc.spec.ID})
+	qc.registered = false
+}
+
+// HandleServerMessage implements transport.ClientHandler.
+func (qc *QueryAgent) HandleServerMessage(msg protocol.Message) {
+	switch v := msg.(type) {
+	case protocol.AnswerUpdate:
+		if v.Query != qc.spec.ID {
+			return
+		}
+		qc.mu.Lock()
+		defer qc.mu.Unlock()
+		qc.answer = model.Answer{Query: v.Query, At: v.At, Neighbors: v.Neighbors}
+		if qc.OnAnswer != nil {
+			qc.OnAnswer(qc.answer)
+		}
+	case protocol.AnswerDelta:
+		if v.Query != qc.spec.ID {
+			return
+		}
+		qc.mu.Lock()
+		defer qc.mu.Unlock()
+		drop := make(map[model.ObjectID]bool, len(v.Removed)+len(v.Added))
+		for _, id := range v.Removed {
+			drop[id] = true
+		}
+		// An added id that is somehow already present is replaced.
+		for _, n := range v.Added {
+			drop[n.ID] = true
+		}
+		ns := make([]model.Neighbor, 0, len(qc.answer.Neighbors)+len(v.Added))
+		for _, n := range qc.answer.Neighbors {
+			if !drop[n.ID] {
+				ns = append(ns, n)
+			}
+		}
+		ns = append(ns, v.Added...)
+		model.SortNeighbors(ns)
+		qc.answer = model.Answer{Query: v.Query, At: v.At, Neighbors: ns}
+		if qc.OnAnswer != nil {
+			qc.OnAnswer(qc.answer)
+		}
+	}
+}
+
+// Answer returns the latest answer received from the server.
+func (qc *QueryAgent) Answer() model.Answer {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	return qc.answer
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// BenchmarkServerMoveReport measures the server's hottest path: applying
+// an in-boundary position refresh and recomputing the answer.
+func BenchmarkServerMoveReport(b *testing.B) {
+	srv, side, now := benchServer(b)
+	*now = 1
+	inst := benchInstall(b, srv, side)
+	msg := protocol.MoveReport{MemberReport: protocol.MemberReport{
+		Query: 1, Epoch: inst.Epoch, Object: 3, Pos: geo.Pt(520, 501), At: 1,
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.HandleUplink(3, msg)
+	}
+}
+
+// BenchmarkServerEnterExit measures a membership churn cycle.
+func BenchmarkServerEnterExit(b *testing.B) {
+	srv, side, now := benchServer(b)
+	*now = 1
+	inst := benchInstall(b, srv, side)
+	enter := protocol.EnterReport{MemberReport: protocol.MemberReport{
+		Query: 1, Epoch: inst.Epoch, Object: 99, Pos: geo.Pt(501, 500), At: 1,
+	}}
+	exit := protocol.ExitReport{MemberReport: protocol.MemberReport{
+		Query: 1, Epoch: inst.Epoch, Object: 99, Pos: geo.Pt(900, 900), At: 1,
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.HandleUplink(99, enter)
+		srv.HandleUplink(99, exit)
+	}
+}
+
+// BenchmarkAgentTick measures one object agent evaluating a monitor.
+func BenchmarkAgentTick(b *testing.B) {
+	pos := geo.Pt(500, 505)
+	cfg := benchCfg()
+	agent, err := NewObjectAgent(cfg, AgentDeps{
+		ID:   1,
+		Side: nullClientSide{},
+		Now:  func() model.Tick { return 1 },
+		Pos:  func() geo.Point { return pos },
+		DT:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent.HandleServerMessage(protocol.MonitorInstall{
+		Query: 1, Epoch: 1, QueryPos: geo.Pt(500, 500),
+		AnswerRadius: 50, Radius: 200, At: 0,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Tick(model.Tick(i + 1))
+	}
+}
+
+type nullClientSide struct{}
+
+func (nullClientSide) Uplink(protocol.Message) {}
+
+func benchCfg() Config {
+	return Config{
+		HorizonTicks:   20,
+		MinProbeRadius: 100,
+		AnswerSlack:    10,
+	}.WithWorldDefault(geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000)))
+}
+
+func benchServer(b *testing.B) (*Server, *recSide, *model.Tick) {
+	b.Helper()
+	now := new(model.Tick)
+	side := &recSide{}
+	srv, err := NewServer(benchCfg(), ServerDeps{
+		Side:           side,
+		Now:            func() model.Tick { return *now },
+		DT:             1,
+		MaxObjectSpeed: 20,
+		MaxQuerySpeed:  20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, side, now
+}
+
+// benchInstall registers a k=10 query and completes its probe with 25
+// repliers.
+func benchInstall(b *testing.B, srv *Server, side *recSide) protocol.MonitorInstall {
+	b.Helper()
+	srv.HandleUplink(500, protocol.QueryRegister{Query: 1, K: 10, Pos: geo.Pt(500, 500), At: 1})
+	srv.Tick(1)
+	reply := func() {
+		probe, ok := side.lastBroadcast().(protocol.ProbeRequest)
+		if !ok {
+			return
+		}
+		for i := 1; i <= 25; i++ {
+			p := geo.Pt(500+float64(i)*3, 500)
+			if probe.Region.Contains(p) {
+				srv.HandleUplink(model.ObjectID(i), protocol.ProbeReply{
+					Query: 1, Seq: probe.Seq, Object: model.ObjectID(i), Pos: p, At: 1,
+				})
+			}
+		}
+	}
+	reply()
+	for i := 0; i < 6 && srv.Finalize(1); i++ {
+		reply()
+	}
+	inst, ok := side.lastBroadcast().(protocol.MonitorInstall)
+	if !ok {
+		b.Fatalf("no install; last %T", side.lastBroadcast())
+	}
+	return inst
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's primary contribution: distributed
+// processing of moving k-nearest-neighbor queries on moving objects
+// ("DKNN"). Instead of every object streaming its position to the server,
+// the objects themselves take part in query processing:
+//
+//   - The server bootstraps each query with an expanding-ring probe,
+//     computes the exact kNN from the replies, and installs a *monitor*
+//     on every object inside the monitoring region — a circle of radius
+//     R = r_b + δ around the query, where the advertised boundary r_b
+//     encloses the k+m nearest objects (m = AnswerSlack buffer) and the
+//     slack δ = (Vobj + Vqry)·H·Δt guarantees that no object outside R
+//     at install time can become a nearest neighbor within the next H
+//     ticks.
+//
+//   - Each aware object dead-reckons the query's advertised track locally
+//     every tick and transmits only on events: crossing the advertised
+//     boundary inward (EnterReport) or outward (ExitReport), leaving the
+//     monitoring region while being a boundary member (LeaveReport), or —
+//     while inside the boundary — drifting more than the in-circle
+//     threshold θ from its last report (MoveReport, which keeps the
+//     server's ranking of the buffered set fresh).
+//
+//   - The server maintains the answer as the k nearest among the buffered
+//     members. It *refreshes* the monitor without probing (epoch+1,
+//     objects self-report side changes relative to their previous state)
+//     when the query track corrects, when the buffer half-drains or
+//     overflows, or when the safety horizon H expires; it falls back to a
+//     fresh probe only when fewer than k members remain known.
+//
+// With zero network latency, no loss, θ = 0, and query deviation
+// threshold 0, the maintained answers are exact at every tick — a tested
+// invariant. Nonzero thresholds trade bounded answer staleness for fewer
+// messages; latency and loss degrade accuracy gracefully (both are
+// measured experiments, not failure modes).
+//
+// The communication profile is the paper's headline property: uplink
+// traffic is proportional to activity *near queries* — roughly
+// Q·(k + m + boundary crossings) per tick — and essentially independent
+// of the total object population N, whereas the centralized baselines pay
+// Θ(N) uplinks per tick (CP) or Θ(N·speed/τ) (CI).
+//
+// The protocol state machines (Server, ObjectAgent, QueryAgent) are
+// medium-agnostic: Method wires them into the simulation engine, and
+// internal/nettcp runs the same machines over real TCP connections.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/sim"
+)
+
+// errNoMaxProbeRadius reports a server built without a probe cap.
+var errNoMaxProbeRadius = errors.New("core: MaxProbeRadius must be positive (use Config.WithWorldDefault)")
+
+// Config carries the protocol knobs. The zero value is not usable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// HorizonTicks is H: the maximum number of ticks between monitor
+	// reinstalls of one query. Larger H means fewer reinstalls but a
+	// larger monitoring region (more aware objects, more event reports)
+	// — the Fig 12 ablation sweeps it.
+	HorizonTicks int
+	// ThetaInside is θ: an object inside the answer boundary re-reports
+	// after drifting this many meters from its last reported position.
+	// 0 keeps the server's ranking exact; larger values trade accuracy
+	// for fewer MoveReports (the Table 3 ablation).
+	ThetaInside float64
+	// QueryDeviation is the focal client's dead-reckoning threshold in
+	// meters: it reports QueryMove when its true position deviates this
+	// far from the track the server advertises. 0 reports every velocity
+	// change.
+	QueryDeviation float64
+	// MinProbeRadius is the initial probe ring radius in meters. Probes
+	// double until they cover at least k objects.
+	MinProbeRadius float64
+	// MaxProbeRadius caps ring expansion. Method defaults it to the
+	// world diagonal (probe everything before giving up).
+	MaxProbeRadius float64
+	// AnswerSlack is m: the advertised answer boundary is sized to
+	// enclose k + m objects rather than exactly k. The buffer absorbs
+	// exits — the server refreshes (cheap, no probe) when it half
+	// drains and falls back to a probe only when fewer than k objects
+	// remain known. m also bounds the number of in-circle reporters, so
+	// it is the knob between probe frequency and MoveReport volume.
+	AnswerSlack int
+	// ResyncTicks, when positive, forces a full probe (complete state
+	// rebuild) at least this often per query. Zero disables it. Lossy
+	// deployments use it to bound how long a client/server
+	// desynchronization from a lost message can persist.
+	ResyncTicks int
+	// DeltaAnswers switches answer delivery to incremental updates
+	// (positive/negative membership deltas) instead of full answers,
+	// cutting downlink bytes roughly k-fold per change. A full answer
+	// re-baselines the client after every (re)install; a lost delta
+	// therefore desynchronizes the client's view only until the next
+	// install.
+	DeltaAnswers bool
+}
+
+// DefaultConfig returns the parameterization used by the headline
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		HorizonTicks:   20,
+		ThetaInside:    0,
+		QueryDeviation: 0,
+		MinProbeRadius: 200,
+		AnswerSlack:    10,
+	}
+}
+
+// WithWorldDefault returns c with MaxProbeRadius defaulted to the world
+// diagonal when unset.
+func (c Config) WithWorldDefault(world geo.Rect) Config {
+	if c.MaxProbeRadius == 0 {
+		c.MaxProbeRadius = world.Min.Dist(world.Max)
+	}
+	return c
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.HorizonTicks <= 0:
+		return fmt.Errorf("core: non-positive horizon %d", c.HorizonTicks)
+	case c.ThetaInside < 0:
+		return fmt.Errorf("core: negative theta %v", c.ThetaInside)
+	case c.QueryDeviation < 0:
+		return fmt.Errorf("core: negative query deviation %v", c.QueryDeviation)
+	case c.MinProbeRadius <= 0:
+		return fmt.Errorf("core: non-positive probe radius %v", c.MinProbeRadius)
+	case c.AnswerSlack < 0:
+		return fmt.Errorf("core: negative answer slack %d", c.AnswerSlack)
+	case c.ResyncTicks < 0:
+		return fmt.Errorf("core: negative resync period %d", c.ResyncTicks)
+	}
+	return nil
+}
+
+// Method is the DKNN strategy plugged into the simulation engine: it
+// instantiates one Server, one ObjectAgent per data object, and one
+// QueryAgent per query, all wired to the engine's metered network.
+type Method struct {
+	cfg    Config
+	env    *sim.Env
+	server *Server
+	agents []*ObjectAgent
+	qcs    []*QueryAgent
+}
+
+var _ sim.Method = (*Method)(nil)
+
+// New returns a DKNN method with the given protocol configuration.
+func New(cfg Config) (*Method, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Method{cfg: cfg}, nil
+}
+
+// Name implements sim.Method.
+func (m *Method) Name() string { return "dknn" }
+
+// Setup implements sim.Method.
+func (m *Method) Setup(env *sim.Env) error {
+	m.env = env
+	m.cfg = m.cfg.WithWorldDefault(env.World)
+
+	srv, err := NewServer(m.cfg, ServerDeps{
+		Side:           env.Net.ServerSide(),
+		Now:            env.Net.Now,
+		DT:             env.DT,
+		MaxObjectSpeed: env.MaxObjectSpeed,
+		MaxQuerySpeed:  env.MaxQuerySpeed,
+		LatencyTicks:   env.LatencyTicks,
+	})
+	if err != nil {
+		return err
+	}
+	m.server = srv
+	env.Net.AttachServer(srv)
+
+	m.agents = make([]*ObjectAgent, len(env.Objects))
+	for i := range m.agents {
+		id := model.ObjectID(i + 1)
+		idx := i
+		agent, err := NewObjectAgent(m.cfg, AgentDeps{
+			ID:   id,
+			Side: env.Net.ClientSide(id),
+			Now:  env.Net.Now,
+			Pos:  func() geo.Point { return env.Objects[idx].Pos },
+			DT:   env.DT,
+		})
+		if err != nil {
+			return err
+		}
+		m.agents[i] = agent
+		env.Net.AttachClient(id, agent)
+	}
+
+	m.qcs = make([]*QueryAgent, len(env.Queries))
+	for i := range m.qcs {
+		idx := i
+		addr := env.Queries[i].State.ID
+		qa, err := NewQueryAgent(m.cfg, env.Queries[i].Spec, QueryAgentDeps{
+			AgentDeps: AgentDeps{
+				ID:   addr,
+				Side: env.Net.ClientSide(addr),
+				Now:  env.Net.Now,
+				Pos:  func() geo.Point { return env.Queries[idx].State.Pos },
+				DT:   env.DT,
+			},
+			Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
+		})
+		if err != nil {
+			return err
+		}
+		m.qcs[i] = qa
+		env.Net.AttachClient(addr, qa)
+	}
+	return nil
+}
+
+// ClientTick implements sim.Method.
+func (m *Method) ClientTick(now model.Tick) {
+	for _, qc := range m.qcs {
+		qc.Tick(now)
+	}
+	for _, a := range m.agents {
+		a.Tick(now)
+	}
+}
+
+// ServerTick implements sim.Method.
+func (m *Method) ServerTick(now model.Tick) { m.server.Tick(now) }
+
+// Finalize implements sim.Method.
+func (m *Method) Finalize(now model.Tick) bool { return m.server.Finalize(now) }
+
+// Answer implements sim.Method: the answer as currently visible at the
+// query's focal client (what the user would see).
+func (m *Method) Answer(q model.QueryID) model.Answer {
+	qi := int(q) - 1
+	if qi < 0 || qi >= len(m.qcs) {
+		return model.Answer{Query: q}
+	}
+	return m.qcs[qi].Answer()
+}
+
+// ServerAnswer returns the server's maintained answer (used by tests to
+// distinguish server-side from client-visible state).
+func (m *Method) ServerAnswer(q model.QueryID) model.Answer {
+	return m.server.Answer(q)
+}
+
+// ServerTime implements sim.Method.
+func (m *Method) ServerTime() time.Duration { return m.server.BusyTime() }

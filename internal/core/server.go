@@ -1,0 +1,723 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/knn"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// ServerDeps are the environment bindings a Server needs. They decouple
+// the protocol state machine from the medium: the simulation engine and
+// the TCP daemon provide different implementations.
+type ServerDeps struct {
+	// Side is the sending surface toward the clients.
+	Side transport.ServerSide
+	// Now returns the current evaluation tick.
+	Now func() model.Tick
+	// DT is the duration of one tick in seconds.
+	DT float64
+	// Speed bounds of the population; the safety slack is sized from
+	// them.
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	// LatencyTicks is the known one-way delivery delay bound (0 for an
+	// in-process medium); probe deadlines are scheduled from it.
+	LatencyTicks int
+}
+
+// Server is the DKNN server: per registered query it runs the probe →
+// install → event-maintenance cycle described in the package comment.
+//
+// Server is safe for concurrent use; every entry point takes its lock.
+// In the simulation the lock is uncontended.
+type Server struct {
+	cfg  Config
+	deps ServerDeps
+
+	mu       sync.Mutex
+	monitors map[model.QueryID]*monitor
+	order    []model.QueryID // sorted, for deterministic iteration
+
+	busy time.Duration
+}
+
+// NewServer returns a DKNN server for the given protocol configuration
+// and environment bindings.
+func NewServer(cfg Config, deps ServerDeps) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxProbeRadius <= 0 {
+		return nil, errNoMaxProbeRadius
+	}
+	return &Server{
+		cfg:      cfg,
+		deps:     deps,
+		monitors: make(map[model.QueryID]*monitor),
+	}, nil
+}
+
+// monitor is the server's per-query state.
+type monitor struct {
+	query model.QueryID
+	k     int
+	rng   float64        // fixed range; 0 means kNN mode
+	addr  model.ObjectID // focal client's network address
+
+	// Advertised query track: the focal client's last reported position
+	// and velocity. Server and aware objects extrapolate the same line.
+	qpos geo.Point
+	qvel geo.Vector
+	qat  model.Tick
+
+	// Install state.
+	epoch        uint32
+	installed    bool
+	answerRadius float64
+	radius       float64
+	installedAt  model.Tick
+	prevRegion   geo.Circle // last installed region, for covering reinstalls
+
+	// Working state maintained from reports.
+	cands  *knn.CandidateSet       // last known positions of aware objects
+	inside map[model.ObjectID]bool // ids currently inside the answer circle
+	answer []model.Neighbor        // current maintained answer
+	sent   map[model.ObjectID]bool // membership of the last answer message
+	// rebaseline forces the next answer message to be a full update
+	// (set by installs so delta-mode clients resynchronize).
+	rebaseline bool
+
+	needsReinstall bool
+
+	// Probe state.
+	probing     bool
+	probeSeq    uint32
+	probeRadius float64
+	probeDue    model.Tick
+	lastProbeAt model.Tick
+	replies     *knn.CandidateSet
+}
+
+// BusyTime returns the cumulative wall-clock time spent processing.
+func (s *Server) BusyTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy
+}
+
+// QueryCount returns the number of registered queries.
+func (s *Server) QueryCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.monitors)
+}
+
+func (s *Server) track(start time.Time) { s.busy += time.Since(start) }
+
+// HandleUplink implements transport.ServerHandler.
+func (s *Server) HandleUplink(from model.ObjectID, msg protocol.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.track(time.Now())
+	now := s.deps.Now()
+	switch v := msg.(type) {
+	case protocol.QueryRegister:
+		s.register(v, from)
+	case protocol.QueryMove:
+		if mon, ok := s.monitors[v.Query]; ok {
+			mon.qpos, mon.qvel, mon.qat = v.Pos, v.Vel, v.At
+			mon.needsReinstall = true
+		}
+	case protocol.QueryDeregister:
+		s.deregister(v.Query)
+	case protocol.ProbeReply:
+		if mon, ok := s.monitors[v.Query]; ok && mon.probing && v.Seq == mon.probeSeq {
+			mon.replies.Set(v.Object, v.Pos)
+		}
+	case protocol.EnterReport:
+		if mon := s.current(v.Query, v.Epoch); mon != nil {
+			mon.cands.Set(v.Object, v.Pos)
+			mon.inside[v.Object] = true
+			s.refreshAnswer(mon, now)
+		}
+	case protocol.ExitReport:
+		if mon := s.current(v.Query, v.Epoch); mon != nil {
+			mon.cands.Set(v.Object, v.Pos)
+			delete(mon.inside, v.Object)
+			if mon.rng == 0 && len(mon.inside) < mon.k {
+				mon.needsReinstall = true
+			}
+			s.refreshAnswer(mon, now)
+		}
+	case protocol.LeaveReport:
+		if mon := s.current(v.Query, v.Epoch); mon != nil {
+			mon.cands.Remove(v.Object)
+			if mon.inside[v.Object] {
+				delete(mon.inside, v.Object)
+				if mon.rng == 0 && len(mon.inside) < mon.k {
+					mon.needsReinstall = true
+				}
+			}
+			s.refreshAnswer(mon, now)
+		}
+	case protocol.MoveReport:
+		if mon := s.current(v.Query, v.Epoch); mon != nil {
+			mon.cands.Set(v.Object, v.Pos)
+			// A MoveReport is sent only by objects that believe they are
+			// inside the answer circle, so it doubles as a membership
+			// affirmation — under message loss this heals a lost
+			// EnterReport within one tick.
+			mon.inside[v.Object] = true
+			s.refreshAnswer(mon, now)
+		}
+	default:
+		// Other kinds (e.g. LocationReport) are not part of this
+		// protocol; ignore rather than fail, as a real server must.
+	}
+}
+
+// HandleClientGone implements transport.DisconnectHandler: a vanished
+// client is purged from every monitor it participates in, and a vanished
+// focal client takes its query down with it.
+func (s *Server) HandleClientGone(id model.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.track(time.Now())
+	now := s.deps.Now()
+	var deadQueries []model.QueryID
+	for _, q := range s.order {
+		mon := s.monitors[q]
+		if mon.addr == id {
+			deadQueries = append(deadQueries, q)
+			continue
+		}
+		// A reply from the vanished client may still sit in a pending
+		// probe round; purge it before the round concludes into state.
+		mon.replies.Remove(id)
+		touched := mon.cands.Has(id) || mon.inside[id]
+		if !touched {
+			continue
+		}
+		mon.cands.Remove(id)
+		if mon.inside[id] {
+			delete(mon.inside, id)
+			if mon.rng == 0 && len(mon.inside) < mon.k {
+				mon.needsReinstall = true
+			}
+		}
+		s.refreshAnswer(mon, now)
+	}
+	for _, q := range deadQueries {
+		s.deregister(q)
+	}
+}
+
+// epochGrace is how many epochs behind the live one a report may be and
+// still be applied. Under delivery latency, a report legitimately crosses
+// a reinstall in flight; its position payload is still current and — for
+// enter/move affirmations — adding a correctly-positioned candidate can
+// never evict a true neighbor from the top-k. With zero latency no report
+// ever lags, so the grace window cannot affect the exact mode.
+const epochGrace = 2
+
+// refreshMinGap is the minimum number of ticks between buffer-driven
+// refresh reinstalls of one query.
+const refreshMinGap = 2
+
+// current returns the monitor for q if the report's epoch is the live one
+// or within the grace window; older reports are discarded.
+func (s *Server) current(q model.QueryID, epoch uint32) *monitor {
+	mon, ok := s.monitors[q]
+	if !ok || epoch > mon.epoch || mon.epoch-epoch > epochGrace {
+		return nil
+	}
+	return mon
+}
+
+// maxK bounds the accepted kNN parameter: a wire-supplied k feeds
+// allocation sizes, so an absurd value is a denial-of-service attempt,
+// not a query.
+const maxK = 1 << 16
+
+func (s *Server) register(v protocol.QueryRegister, from model.ObjectID) {
+	if _, exists := s.monitors[v.Query]; exists {
+		return // duplicate registration: keep existing state
+	}
+	// Sanitize wire input: this is an open network surface.
+	if v.Range < 0 || v.Range != v.Range || // negative or NaN range
+		v.Pos.X != v.Pos.X || v.Pos.Y != v.Pos.Y || // NaN position
+		(v.Range == 0 && (v.K == 0 || v.K > maxK)) {
+		return
+	}
+	mon := &monitor{
+		query:          v.Query,
+		k:              int(v.K),
+		rng:            v.Range,
+		addr:           from,
+		qpos:           v.Pos,
+		qvel:           v.Vel,
+		qat:            v.At,
+		cands:          knn.NewCandidateSet(),
+		inside:         make(map[model.ObjectID]bool),
+		sent:           make(map[model.ObjectID]bool),
+		replies:        knn.NewCandidateSet(),
+		needsReinstall: true,
+	}
+	s.monitors[v.Query] = mon
+	s.order = append(s.order, v.Query)
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+}
+
+func (s *Server) deregister(q model.QueryID) {
+	mon, ok := s.monitors[q]
+	if !ok {
+		return
+	}
+	if mon.installed {
+		s.deps.Side.Broadcast(mon.prevRegion, protocol.MonitorCancel{Query: q, Epoch: mon.epoch})
+	}
+	delete(s.monitors, q)
+	for i, id := range s.order {
+		if id == q {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// qEst extrapolates the advertised query track to now.
+func (mon *monitor) qEst(now model.Tick, dt float64) geo.Point {
+	return geo.DeadReckon(mon.qpos, mon.qvel, float64(now-mon.qat)*dt)
+}
+
+// delta is the monitoring-region slack: the worst-case relative
+// displacement between query and object over the reinstall horizon.
+func (s *Server) delta() float64 {
+	return geo.SafeRadius(0, s.deps.MaxObjectSpeed, s.deps.MaxQuerySpeed,
+		float64(s.cfg.HorizonTicks)*s.deps.DT)
+}
+
+// Tick runs the periodic server work: horizon expiry, buffer checks, and
+// probe initiation for monitors that need a reinstall.
+func (s *Server) Tick(now model.Tick) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.track(time.Now())
+	cfg := s.cfg
+	for _, q := range s.order {
+		mon := s.monitors[q]
+		if mon.probing {
+			continue
+		}
+		if mon.installed && now-mon.installedAt >= model.Tick(cfg.HorizonTicks) {
+			mon.needsReinstall = true
+		}
+		// Periodic full resynchronization for lossy deployments: a probe
+		// rebuilds all per-query state from scratch, healing any
+		// client/server desynchronization accumulated from lost messages.
+		if cfg.ResyncTicks > 0 && mon.installed &&
+			now-mon.lastProbeAt >= model.Tick(cfg.ResyncTicks) {
+			s.startProbe(mon, now)
+			continue
+		}
+		// Refill the answer buffer before it drains (half-empty), and
+		// shrink it when it overflows to twice the target — both are
+		// cheap refreshes, not probes. Range monitors have a fixed
+		// boundary: no buffer to manage. Rate-limited: when the world
+		// simply has no more objects to recruit, refreshing every tick
+		// would advance the epoch faster than in-flight reports can
+		// follow.
+		if mon.rng == 0 && cfg.AnswerSlack > 0 && mon.installed &&
+			now-mon.installedAt >= refreshMinGap {
+			count, target := len(mon.inside), mon.k+cfg.AnswerSlack
+			if count < mon.k+(cfg.AnswerSlack+1)/2 || count > 2*target {
+				mon.needsReinstall = true
+			}
+		}
+		if !mon.needsReinstall {
+			continue
+		}
+		// A refresh reinstall is possible whenever the server still knows
+		// at least k objects inside the answer circle with fresh
+		// positions: no probe, no mass replies — objects self-report side
+		// changes relative to their previous monitor state. The full
+		// expanding-ring probe remains for bootstrap and for recovery
+		// when exits/leaves dropped the inside count below k. Range
+		// monitors always refresh once installed (membership is
+		// self-maintaining at any population).
+		if mon.installed && (mon.rng > 0 || len(mon.inside) >= mon.k) {
+			s.refreshInstall(mon, now)
+		} else {
+			s.startProbe(mon, now)
+		}
+	}
+}
+
+// refreshInstall reinstalls the monitor around the current query estimate
+// without probing. The advertised boundary is sized to enclose the
+// k+AnswerSlack buffer; agents' side-change reports (same tick under zero
+// latency) then resynchronize membership exactly.
+func (s *Server) refreshInstall(mon *monitor, now model.Tick) {
+	cfg := s.cfg
+	center := mon.qEst(now, s.deps.DT)
+
+	var rk float64
+	if mon.rng > 0 {
+		rk = mon.rng
+	} else {
+		acc := make([]model.Neighbor, 0, len(mon.inside))
+		for id := range mon.inside {
+			if p, ok := mon.cands.Position(id); ok {
+				acc = append(acc, model.Neighbor{ID: id, Dist: p.Dist(center)})
+			}
+		}
+		model.SortNeighbors(acc)
+		if len(acc) < mon.k {
+			// Positions for some inside ids are missing (cannot happen in
+			// normal operation; defensive): fall back to a probe.
+			s.startProbe(mon, now)
+			return
+		}
+		rk = s.boundaryFromKnown(mon, acc)
+	}
+	if rk > cfg.MaxProbeRadius {
+		rk = cfg.MaxProbeRadius
+	}
+	radius := rk + s.delta()
+	if radius > cfg.MaxProbeRadius {
+		radius = cfg.MaxProbeRadius
+	}
+	region := geo.Circle{Center: center, R: radius}
+
+	mon.epoch++
+	mon.answerRadius = rk
+	mon.radius = radius
+	mon.installedAt = now
+	mon.needsReinstall = false
+
+	// Objects strictly outside the new circle will exit/drop themselves;
+	// prune candidates whose last known position is already outside so
+	// stale annulus entries do not accumulate.
+	var gone []model.ObjectID
+	mon.cands.Visit(func(id model.ObjectID, p geo.Point) bool {
+		if p.Dist(center) > radius && !mon.inside[id] {
+			gone = append(gone, id)
+		}
+		return true
+	})
+	for _, id := range gone {
+		mon.cands.Remove(id)
+	}
+
+	cover := region
+	if mon.prevRegion.R > 0 {
+		if need := center.Dist(mon.prevRegion.Center) + mon.prevRegion.R; need > cover.R {
+			cover.R = need
+		}
+	}
+	mon.prevRegion = region
+
+	s.deps.Side.Broadcast(cover, protocol.MonitorInstall{
+		Query:        mon.query,
+		Epoch:        mon.epoch,
+		Refresh:      true,
+		RangeMode:    mon.rng > 0,
+		QueryPos:     center,
+		QueryVel:     mon.qvel,
+		AnswerRadius: rk,
+		Radius:       radius,
+		At:           now,
+	})
+	s.refreshAnswer(mon, now)
+}
+
+// boundaryFromKnown sizes the advertised answer boundary from a sorted
+// list of known neighbor distances: the (k+m)-th distance when known,
+// otherwise a local-density extrapolation from the outermost known
+// object.
+func (s *Server) boundaryFromKnown(mon *monitor, sorted []model.Neighbor) float64 {
+	target := mon.k + s.cfg.AnswerSlack
+	if len(sorted) >= target {
+		return sorted[target-1].Dist
+	}
+	outer := sorted[len(sorted)-1].Dist
+	if outer <= 0 {
+		return s.cfg.MinProbeRadius
+	}
+	// Area scales with count under locally uniform density.
+	est := outer * math.Sqrt(float64(target)/float64(len(sorted)))
+	if est > s.cfg.MaxProbeRadius {
+		est = s.cfg.MaxProbeRadius
+	}
+	return est
+}
+
+// startProbe begins a probe round sized from current knowledge.
+func (s *Server) startProbe(mon *monitor, now model.Tick) {
+	cfg := s.cfg
+	center := mon.qEst(now, s.deps.DT)
+	radius := cfg.MinProbeRadius
+	if mon.rng > 0 {
+		// Range monitors need exactly one probe over the whole region.
+		radius = mon.rng + s.delta()
+	} else if mon.cands.Len() >= mon.k {
+		// If we already track at least k candidates, size the ring from
+		// the k-th known distance plus the safety slack.
+		ns := mon.cands.KNN(center, mon.k)
+		if est := ns[len(ns)-1].Dist + s.delta(); est > radius {
+			radius = est
+		}
+	}
+	if radius > cfg.MaxProbeRadius {
+		radius = cfg.MaxProbeRadius
+	}
+	mon.probing = true
+	mon.probeSeq++
+	mon.probeRadius = radius
+	mon.probeDue = now + model.Tick(2*s.deps.LatencyTicks)
+	mon.lastProbeAt = now
+	mon.replies.Clear()
+	s.deps.Side.Broadcast(geo.Circle{Center: center, R: radius}, protocol.ProbeRequest{
+		Query:  mon.query,
+		Seq:    mon.probeSeq,
+		Region: geo.Circle{Center: center, R: radius},
+		At:     now,
+	})
+}
+
+// Finalize completes probe rounds whose replies are in: either expand the
+// ring or install the monitor. It reports whether any message was sent,
+// so the driver flushes and calls again.
+func (s *Server) Finalize(now model.Tick) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.track(time.Now())
+	sent := false
+	for _, q := range s.order {
+		mon := s.monitors[q]
+		if !mon.probing || now < mon.probeDue {
+			continue
+		}
+		if s.concludeProbe(mon, now) {
+			sent = true
+		}
+	}
+	return sent
+}
+
+func (s *Server) concludeProbe(mon *monitor, now model.Tick) bool {
+	cfg := s.cfg
+	center := mon.qEst(now, s.deps.DT)
+
+	if mon.rng > 0 {
+		// Range monitor: the probe covered the full monitoring region;
+		// install directly with the fixed boundary.
+		radius := mon.rng + s.delta()
+		if radius > cfg.MaxProbeRadius {
+			radius = cfg.MaxProbeRadius
+		}
+		s.install(mon, now, center, mon.rng, radius)
+		return true
+	}
+
+	if mon.replies.Len() < mon.k && mon.probeRadius < cfg.MaxProbeRadius {
+		// Not enough objects inside the ring: double it.
+		s.expandProbe(mon, now, min(2*mon.probeRadius, cfg.MaxProbeRadius))
+		return true
+	}
+
+	target := mon.k + cfg.AnswerSlack
+	ns := mon.replies.KNN(center, target)
+	var rk float64
+	switch {
+	case len(ns) >= mon.k:
+		// Advertise the boundary that encloses the buffer of k+m
+		// objects. When the probe found fewer than k+m (but at least k),
+		// estimate the buffer radius from local density so the next ring
+		// need not expand again.
+		rk = s.boundaryFromKnown(mon, ns)
+	default:
+		// Fewer than k objects exist even probing everything: monitor the
+		// whole probed area so every object stays aware and fresh.
+		rk = mon.probeRadius
+	}
+	radius := rk + s.delta()
+	if radius > cfg.MaxProbeRadius {
+		radius = cfg.MaxProbeRadius
+		if rk > radius {
+			rk = radius
+		}
+	}
+	if radius > mon.probeRadius {
+		// The safety region exceeds the probed area; one more ring makes
+		// the candidate set complete. rk can only shrink with a larger
+		// ring, so this converges.
+		s.expandProbe(mon, now, radius)
+		return true
+	}
+	s.install(mon, now, center, rk, radius)
+	return true
+}
+
+func (s *Server) expandProbe(mon *monitor, now model.Tick, radius float64) {
+	center := mon.qEst(now, s.deps.DT)
+	mon.probeSeq++
+	mon.probeRadius = radius
+	mon.probeDue = now + model.Tick(2*s.deps.LatencyTicks)
+	mon.replies.Clear()
+	s.deps.Side.Broadcast(geo.Circle{Center: center, R: radius}, protocol.ProbeRequest{
+		Query:  mon.query,
+		Seq:    mon.probeSeq,
+		Region: geo.Circle{Center: center, R: radius},
+		At:     now,
+	})
+}
+
+// install commits a probe result: rebuild the candidate and inside sets
+// from the replies, advance the epoch, and broadcast the install over a
+// region covering both the previous and the new monitoring circles (so
+// objects that fell out of the region hear about it and stop monitoring).
+func (s *Server) install(mon *monitor, now model.Tick, center geo.Point, rk, radius float64) {
+	region := geo.Circle{Center: center, R: radius}
+	mon.epoch++
+	mon.installed = true
+	mon.answerRadius = rk
+	mon.radius = radius
+	mon.installedAt = now
+	mon.probing = false
+	mon.needsReinstall = false
+	mon.rebaseline = true // next answer message re-baselines delta clients
+
+	mon.cands.Clear()
+	clear(mon.inside)
+	mon.replies.Visit(func(id model.ObjectID, p geo.Point) bool {
+		if d := p.Dist(center); d <= radius {
+			mon.cands.Set(id, p)
+			if d <= rk {
+				mon.inside[id] = true
+			}
+		}
+		return true
+	})
+	mon.replies.Clear()
+
+	cover := region
+	if mon.prevRegion.R > 0 {
+		if need := center.Dist(mon.prevRegion.Center) + mon.prevRegion.R; need > cover.R {
+			cover.R = need
+		}
+	}
+	mon.prevRegion = region
+
+	s.deps.Side.Broadcast(cover, protocol.MonitorInstall{
+		Query:        mon.query,
+		Epoch:        mon.epoch,
+		RangeMode:    mon.rng > 0,
+		QueryPos:     center,
+		QueryVel:     mon.qvel,
+		AnswerRadius: rk,
+		Radius:       radius,
+		At:           now,
+	})
+	s.refreshAnswer(mon, now)
+}
+
+// refreshAnswer recomputes the maintained answer from the inside set
+// (filling from annulus candidates while recovering from an under-full
+// circle) and downlinks an AnswerUpdate when membership changed.
+func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
+	center := mon.qEst(now, s.deps.DT)
+
+	acc := make([]model.Neighbor, 0, len(mon.inside)+4)
+	for id := range mon.inside {
+		if p, ok := mon.cands.Position(id); ok {
+			acc = append(acc, model.Neighbor{ID: id, Dist: p.Dist(center)})
+		}
+	}
+	model.SortNeighbors(acc)
+	if mon.rng > 0 {
+		// Range monitor: membership is the answer; positions (and hence
+		// the reported distances) are only install-time fresh.
+	} else if len(acc) > mon.k {
+		acc = acc[:mon.k]
+	} else if len(acc) < mon.k && mon.cands.Len() > len(acc) {
+		// Best-effort fill from annulus candidates (stale positions) while
+		// a fallback probe is pending.
+		extra := make([]model.Neighbor, 0, mon.cands.Len()-len(acc))
+		mon.cands.Visit(func(id model.ObjectID, p geo.Point) bool {
+			if !mon.inside[id] {
+				extra = append(extra, model.Neighbor{ID: id, Dist: p.Dist(center)})
+			}
+			return true
+		})
+		model.SortNeighbors(extra)
+		need := mon.k - len(acc)
+		if need > len(extra) {
+			need = len(extra)
+		}
+		acc = append(acc, extra[:need]...)
+		model.SortNeighbors(acc)
+	}
+	mon.answer = acc
+
+	changed := len(acc) != len(mon.sent)
+	var added []model.Neighbor
+	for _, n := range acc {
+		if !mon.sent[n.ID] {
+			changed = true
+			added = append(added, n)
+		}
+	}
+	if !changed {
+		return
+	}
+	if s.cfg.DeltaAnswers && !mon.rebaseline {
+		accSet := make(map[model.ObjectID]bool, len(acc))
+		for _, n := range acc {
+			accSet[n.ID] = true
+		}
+		var removed []model.ObjectID
+		for id := range mon.sent {
+			if !accSet[id] {
+				removed = append(removed, id)
+			}
+		}
+		sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+		clear(mon.sent)
+		for _, n := range acc {
+			mon.sent[n.ID] = true
+		}
+		s.deps.Side.Downlink(mon.addr, protocol.AnswerDelta{
+			Query: mon.query, At: now, Added: added, Removed: removed,
+		})
+		return
+	}
+	mon.rebaseline = false
+	clear(mon.sent)
+	for _, n := range acc {
+		mon.sent[n.ID] = true
+	}
+	ns := make([]model.Neighbor, len(acc))
+	copy(ns, acc)
+	s.deps.Side.Downlink(mon.addr, protocol.AnswerUpdate{Query: mon.query, At: now, Neighbors: ns})
+}
+
+// Answer returns the server's maintained answer for q.
+func (s *Server) Answer(q model.QueryID) model.Answer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mon, ok := s.monitors[q]
+	if !ok {
+		return model.Answer{Query: q}
+	}
+	ns := make([]model.Neighbor, len(mon.answer))
+	copy(ns, mon.answer)
+	return model.Answer{Query: q, At: s.deps.Now(), Neighbors: ns}
+}

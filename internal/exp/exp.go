@@ -1,0 +1,627 @@
+// Package exp is the experiment harness: it enumerates the reconstructed
+// evaluation grid from DESIGN.md (figures 5-12, tables 2-4), runs every
+// (method × sweep-point) cell on the simulation engine, and renders the
+// result tables that EXPERIMENTS.md records.
+//
+// Two profiles exist: the paper-scale Full profile (tens of thousands of
+// objects, hundreds of ticks — minutes of wall clock) used by
+// cmd/dknn-bench, and the Smoke profile used by the repository benchmarks
+// so that `go test -bench` exercises every experiment quickly.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmknn/internal/baseline"
+	"dmknn/internal/core"
+	"dmknn/internal/shard"
+	"dmknn/internal/sim"
+	"dmknn/internal/workload"
+)
+
+// MethodSpec names a method and knows how to build a fresh instance (a
+// sim.Method is single-use: it holds per-run state).
+type MethodSpec struct {
+	Name  string
+	Build func() (sim.Method, error)
+}
+
+// DKNN returns the distributed method spec with the given protocol
+// configuration.
+func DKNN(cfg core.Config) MethodSpec {
+	return MethodSpec{Name: "DKNN", Build: func() (sim.Method, error) { return core.New(cfg) }}
+}
+
+// CP returns the centralized-periodic baseline spec.
+func CP() MethodSpec {
+	return MethodSpec{Name: "CP", Build: func() (sim.Method, error) { return baseline.NewCP(), nil }}
+}
+
+// CI returns the centralized-incremental baseline spec with threshold tau.
+func CI(tau float64) MethodSpec {
+	return MethodSpec{
+		Name:  fmt.Sprintf("CI(τ=%g)", tau),
+		Build: func() (sim.Method, error) { return baseline.NewCI(tau) },
+	}
+}
+
+// CB returns the centralized predictive dead-reckoning baseline spec with
+// threshold tau.
+func CB(tau float64) MethodSpec {
+	return MethodSpec{
+		Name:  fmt.Sprintf("CB(τ=%g)", tau),
+		Build: func() (sim.Method, error) { return baseline.NewCB(tau) },
+	}
+}
+
+// Metric extracts one scalar from a run result.
+type Metric struct {
+	Name string
+	Fn   func(*sim.Result) float64
+}
+
+// The metrics the evaluation reports.
+var (
+	MetricUplink = Metric{"uplink/tick", func(r *sim.Result) float64 { return r.UplinkPerTick() }}
+	MetricDown   = Metric{"down+bcast/tick", func(r *sim.Result) float64 { return r.DownlinkPerTick() }}
+	MetricServer = Metric{"server µs/tick", func(r *sim.Result) float64 { return r.ServerUS.Mean() }}
+	MetricExact  = Metric{"exactness", func(r *sim.Result) float64 { return r.Audit.Exactness() }}
+	MetricRecall = Metric{"mean recall", func(r *sim.Result) float64 { return r.Audit.MeanRecall() }}
+	MetricRadErr = Metric{"radius err", func(r *sim.Result) float64 { return r.Audit.MeanRadiusError() }}
+)
+
+// Point is one x-axis value of a sweep: a label and the fully built
+// simulation configuration for it.
+type Point struct {
+	Label  string
+	Config sim.Config
+}
+
+// Experiment is one figure or table: a sweep crossed with methods and
+// metrics.
+type Experiment struct {
+	ID      string // e.g. "fig5"
+	Title   string
+	XLabel  string
+	Points  []Point
+	Methods []MethodSpec
+	Metrics []Metric
+	// Seeds > 1 repeats every cell with distinct workload seeds and
+	// reports the mean, which removes single-trajectory noise from the
+	// tables.
+	Seeds int
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Columns []string // method×metric column headers
+	Rows    []Row
+}
+
+// Row is one sweep point's measurements.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Run executes every cell of the experiment. Cells run sequentially so
+// that per-run timing metrics are not perturbed by sibling runs.
+func (e *Experiment) Run() (*Table, error) {
+	t := &Table{ID: e.ID, Title: e.Title, XLabel: e.XLabel}
+	for _, m := range e.Methods {
+		for _, metric := range e.Metrics {
+			if len(e.Metrics) == 1 {
+				t.Columns = append(t.Columns, m.Name)
+			} else {
+				t.Columns = append(t.Columns, m.Name+" "+metric.Name)
+			}
+		}
+	}
+	seeds := e.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	for _, pt := range e.Points {
+		row := Row{Label: pt.Label}
+		for _, m := range e.Methods {
+			sums := make([]float64, len(e.Metrics))
+			for rep := 0; rep < seeds; rep++ {
+				method, err := m.Build()
+				if err != nil {
+					return nil, fmt.Errorf("exp %s: build %s: %w", e.ID, m.Name, err)
+				}
+				cfg := pt.Config
+				cfg.Seed += int64(rep) * 1000003
+				res, err := sim.Run(cfg, method)
+				if err != nil {
+					return nil, fmt.Errorf("exp %s: run %s @ %s: %w", e.ID, m.Name, pt.Label, err)
+				}
+				for i, metric := range e.Metrics {
+					sums[i] += metric.Fn(res)
+				}
+			}
+			for i := range sums {
+				row.Values = append(row.Values, sums[i]/float64(seeds))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Render formats the table as fixed-width text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %16s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %16.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown formats the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "| %s |", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %.2f |", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV formats the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Column returns the values of the named column in row order.
+func (t *Table) Column(name string) ([]float64, bool) {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Values[idx]
+	}
+	return out, true
+}
+
+// Profile selects the sweep values and the base configuration for a
+// suite. Full is the paper-scale grid; Smoke shrinks it so the whole
+// suite runs in seconds.
+type Profile struct {
+	Base  sim.Config
+	Proto core.Config
+	CITau float64
+	// CBTau, when positive, adds the predictive dead-reckoning baseline
+	// to every comparison (an extension beyond the paper's own two
+	// baselines).
+	CBTau      float64
+	Ns         []int
+	Ks         []int
+	ObjSpeeds  []float64
+	QrySpeeds  []float64
+	Qs         []int
+	Horizons   []int
+	Taus       []float64
+	Thetas     []float64
+	Mobilities []string
+	Grids      []int
+	Shards     []int
+	Losses     []float64
+}
+
+// FullProfile is the paper-scale evaluation grid from DESIGN.md §5.
+func FullProfile() Profile {
+	return Profile{
+		Base:       workload.Default(),
+		Proto:      core.DefaultConfig(),
+		CITau:      50,
+		Ns:         []int{5000, 10000, 20000, 40000, 80000},
+		Ks:         []int{1, 5, 10, 20, 50},
+		ObjSpeeds:  []float64{5, 10, 20, 40},
+		QrySpeeds:  []float64{0, 5, 20, 40},
+		Qs:         []int{1, 16, 64, 256, 1024},
+		Horizons:   []int{5, 10, 20, 40, 80},
+		Taus:       []float64{10, 50, 100, 250},
+		Thetas:     []float64{0, 10, 25, 50},
+		Mobilities: []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
+		Grids:      []int{16, 32, 64, 128},
+		Shards:     []int{1, 2, 4, 8},
+		Losses:     []float64{0, 0.01, 0.02, 0.05, 0.10},
+	}
+}
+
+// SmokeProfile is the same experiment structure at unit-test scale.
+func SmokeProfile() Profile {
+	base := workload.Quick()
+	base.Ticks = 40
+	proto := core.DefaultConfig()
+	proto.HorizonTicks = 8
+	proto.MinProbeRadius = 100
+	return Profile{
+		Base:       base,
+		Proto:      proto,
+		CITau:      20,
+		CBTau:      20,
+		Ns:         []int{300, 600, 1200},
+		Ks:         []int{1, 5, 10},
+		ObjSpeeds:  []float64{5, 10, 20},
+		QrySpeeds:  []float64{0, 10, 20},
+		Qs:         []int{1, 8, 32},
+		Horizons:   []int{4, 8, 16},
+		Taus:       []float64{10, 50},
+		Thetas:     []float64{0, 10, 50},
+		Mobilities: []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
+		Grids:      []int{8, 16, 32},
+		Shards:     []int{1, 4},
+		Losses:     []float64{0, 0.05},
+	}
+}
+
+func (p Profile) methods() []MethodSpec {
+	ms := []MethodSpec{CP(), CI(p.CITau)}
+	if p.CBTau > 0 {
+		ms = append(ms, CB(p.CBTau))
+	}
+	return append(ms, DKNN(p.Proto))
+}
+
+// Suite builds every experiment in the reconstructed evaluation.
+func Suite(p Profile) []*Experiment {
+	return []*Experiment{
+		p.Fig5ObjectScaling(),
+		p.Fig6VaryK(),
+		p.Fig7ObjectSpeed(),
+		p.Fig8QuerySpeed(),
+		p.Fig9Downlink(),
+		p.Fig10ServerCPU(),
+		p.Fig11QueryScaling(),
+		p.Fig12SlackAblation(),
+		p.Fig13GridResolution(),
+		p.Fig14IndexAblation(),
+		p.Fig15Skew(),
+		p.Fig16ShardScaling(),
+		p.Fig17LossRobustness(),
+		p.Table3Accuracy(),
+		p.Table4Mobility(),
+	}
+}
+
+// Fig5ObjectScaling: uplink/tick vs object population.
+func (p Profile) Fig5ObjectScaling() *Experiment {
+	e := &Experiment{
+		ID: "fig5", Title: "Uplink messages per tick vs number of objects",
+		XLabel: "N", Methods: p.methods(), Metrics: []Metric{MetricUplink},
+	}
+	for _, n := range p.Ns {
+		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
+	}
+	return e
+}
+
+// Fig6VaryK: uplink/tick vs k.
+func (p Profile) Fig6VaryK() *Experiment {
+	e := &Experiment{
+		ID: "fig6", Title: "Uplink messages per tick vs k",
+		XLabel: "k", Methods: p.methods(), Metrics: []Metric{MetricUplink},
+	}
+	for _, k := range p.Ks {
+		e.Points = append(e.Points, Point{fmt.Sprint(k), workload.WithK(p.Base, k)})
+	}
+	return e
+}
+
+// Fig7ObjectSpeed: uplink/tick vs maximum object speed.
+func (p Profile) Fig7ObjectSpeed() *Experiment {
+	e := &Experiment{
+		ID: "fig7", Title: "Uplink messages per tick vs object speed",
+		XLabel: "Vobj (m/s)", Methods: p.methods(), Metrics: []Metric{MetricUplink},
+	}
+	for _, v := range p.ObjSpeeds {
+		e.Points = append(e.Points, Point{fmt.Sprint(v), workload.WithObjectSpeed(p.Base, v)})
+	}
+	return e
+}
+
+// Fig8QuerySpeed: uplink/tick vs maximum query speed.
+func (p Profile) Fig8QuerySpeed() *Experiment {
+	e := &Experiment{
+		ID: "fig8", Title: "Uplink messages per tick vs query speed",
+		XLabel: "Vqry (m/s)", Methods: p.methods(), Metrics: []Metric{MetricUplink},
+	}
+	for _, v := range p.QrySpeeds {
+		e.Points = append(e.Points, Point{fmt.Sprint(v), workload.WithQuerySpeed(p.Base, v)})
+	}
+	return e
+}
+
+// Fig9Downlink: downlink+broadcast transmissions vs object population.
+func (p Profile) Fig9Downlink() *Experiment {
+	e := &Experiment{
+		ID: "fig9", Title: "Downlink+broadcast transmissions per tick vs number of objects",
+		XLabel: "N", Methods: p.methods(), Metrics: []Metric{MetricDown},
+	}
+	for _, n := range p.Ns {
+		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
+	}
+	return e
+}
+
+// Fig10ServerCPU: server processing time vs object population.
+func (p Profile) Fig10ServerCPU() *Experiment {
+	e := &Experiment{
+		ID: "fig10", Title: "Server processing time per tick vs number of objects",
+		XLabel: "N", Methods: p.methods(), Metrics: []Metric{MetricServer},
+	}
+	for _, n := range p.Ns {
+		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
+	}
+	return e
+}
+
+// Fig11QueryScaling: uplink/tick vs number of concurrent queries.
+func (p Profile) Fig11QueryScaling() *Experiment {
+	e := &Experiment{
+		ID: "fig11", Title: "Uplink messages per tick vs number of queries",
+		XLabel: "Q", Methods: p.methods(), Metrics: []Metric{MetricUplink},
+	}
+	for _, q := range p.Qs {
+		e.Points = append(e.Points, Point{fmt.Sprint(q), workload.WithQueries(p.Base, q)})
+	}
+	return e
+}
+
+// Fig12SlackAblation: DKNN uplink and broadcast vs the horizon H.
+func (p Profile) Fig12SlackAblation() *Experiment {
+	e := &Experiment{
+		ID: "fig12", Title: "DKNN cost vs reinstall horizon H (ablation)",
+		XLabel: "H (ticks)", Metrics: []Metric{MetricUplink, MetricDown},
+	}
+	// Horizon varies the *method*, not the workload: encode each H as a
+	// method column over a single workload point.
+	for _, h := range p.Horizons {
+		proto := p.Proto
+		proto.HorizonTicks = h
+		e.Methods = append(e.Methods, MethodSpec{
+			Name:  fmt.Sprintf("DKNN(H=%d)", h),
+			Build: func() (sim.Method, error) { return core.New(proto) },
+		})
+	}
+	e.Points = []Point{{"default", p.Base}}
+	return e
+}
+
+// Fig13GridResolution: sensitivity of cost to the grid cell size — an
+// ablation beyond the paper's grid: finer cells shrink broadcast waste
+// but add server index work.
+func (p Profile) Fig13GridResolution() *Experiment {
+	e := &Experiment{
+		ID: "fig13", Title: "Cost vs grid resolution (ablation)",
+		XLabel:  "grid",
+		Methods: []MethodSpec{CP(), DKNN(p.Proto)},
+		Metrics: []Metric{MetricUplink, MetricDown, MetricServer},
+	}
+	base := p.Base
+	for _, g := range p.Grids {
+		cfg := base
+		cfg.Cols, cfg.Rows = g, g
+		e.Points = append(e.Points, Point{fmt.Sprintf("%dx%d", g, g), cfg})
+	}
+	return e
+}
+
+// Fig14IndexAblation: the centralized server's cost on the two spatial
+// index substrates (uniform grid vs R-tree) as the population scales — an
+// ablation beyond the paper's grid.
+func (p Profile) Fig14IndexAblation() *Experiment {
+	mkCP := func(kind string) MethodSpec {
+		return MethodSpec{
+			Name:  "CP[" + kind + "]",
+			Build: func() (sim.Method, error) { return baseline.NewCPWithIndex(kind) },
+		}
+	}
+	e := &Experiment{
+		ID: "fig14", Title: "Server index substrate: grid vs R-tree (ablation)",
+		XLabel:  "N",
+		Methods: []MethodSpec{mkCP("grid"), mkCP("rtree")},
+		Metrics: []Metric{MetricServer, MetricExact},
+	}
+	for _, n := range p.Ns {
+		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
+	}
+	return e
+}
+
+// Fig15Skew: uniform vs hotspot-clustered populations — skew stresses the
+// grid-based servers (dense cells) while the distributed protocol's
+// regions simply shrink where density is high.
+func (p Profile) Fig15Skew() *Experiment {
+	mkCP := func(kind string) MethodSpec {
+		return MethodSpec{
+			Name:  "CP[" + kind + "]",
+			Build: func() (sim.Method, error) { return baseline.NewCPWithIndex(kind) },
+		}
+	}
+	e := &Experiment{
+		ID: "fig15", Title: "Population skew: uniform vs hotspot clusters (ablation)",
+		XLabel:  "population",
+		Methods: []MethodSpec{mkCP("grid"), mkCP("rtree"), DKNN(p.Proto)},
+		Metrics: []Metric{MetricUplink, MetricServer},
+	}
+	for _, kind := range []string{workload.ModelWaypoint, workload.ModelHotspot} {
+		cfg, err := workload.WithMobility(p.Base, kind)
+		if err != nil {
+			continue
+		}
+		e.Points = append(e.Points, Point{kind, cfg})
+	}
+	return e
+}
+
+// Fig16ShardScaling: the server's per-tick critical path as queries are
+// partitioned over parallel shards — the "scalable distributed
+// processing" extension. The wireless traffic is provably unchanged
+// (tested); only the server interior parallelizes.
+func (p Profile) Fig16ShardScaling() *Experiment {
+	mkShard := func(n int) MethodSpec {
+		return MethodSpec{
+			Name:  fmt.Sprintf("DKNN[%d shards]", n),
+			Build: func() (sim.Method, error) { return shard.NewMethod(n, p.Proto) },
+		}
+	}
+	e := &Experiment{
+		ID: "fig16", Title: "Server critical path vs shard count (ablation)",
+		XLabel:  "Q",
+		Metrics: []Metric{MetricServer, MetricExact},
+	}
+	for _, n := range p.Shards {
+		e.Methods = append(e.Methods, mkShard(n))
+	}
+	// Heavier query loads show the parallel speedup.
+	qs := p.Qs
+	if len(qs) > 3 {
+		qs = qs[len(qs)-3:]
+	}
+	for _, q := range qs {
+		e.Points = append(e.Points, Point{fmt.Sprint(q), workload.WithQueries(p.Base, q)})
+	}
+	return e
+}
+
+// Fig17LossRobustness: answer quality under independent message loss on
+// all three directions — graceful degradation, not failure. DKNN runs
+// with a resync period (the lossy-deployment configuration).
+func (p Profile) Fig17LossRobustness() *Experiment {
+	proto := p.Proto
+	proto.ResyncTicks = 3 * proto.HorizonTicks
+	e := &Experiment{
+		ID: "fig17", Title: "Answer quality vs message loss (all directions)",
+		XLabel:  "loss",
+		Methods: []MethodSpec{CI(p.CITau), DKNN(proto)},
+		Metrics: []Metric{MetricRecall, MetricUplink},
+	}
+	for _, loss := range p.Losses {
+		cfg := p.Base
+		cfg.UplinkLoss = loss
+		cfg.DownlinkLoss = loss
+		cfg.BroadcastLoss = loss
+		e.Points = append(e.Points, Point{fmt.Sprintf("%.0f%%", loss*100), cfg})
+	}
+	return e
+}
+
+// Table2Breakdown is rendered separately (it needs the counter table, not
+// a scalar metric); see RunTable2.
+func (p Profile) RunTable2() (string, error) {
+	var b strings.Builder
+	b.WriteString("table2 — Message breakdown by kind and direction (default workload)\n\n")
+	for _, m := range p.methods() {
+		method, err := m.Build()
+		if err != nil {
+			return "", err
+		}
+		res, err := sim.Run(p.Base, method)
+		if err != nil {
+			return "", fmt.Errorf("table2: %s: %w", m.Name, err)
+		}
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", m.Name, res.Traffic.BreakdownTable())
+	}
+	return b.String(), nil
+}
+
+// Table3Accuracy: answer quality and uplink cost across the approximation
+// knobs (CI τ sweep and DKNN θ sweep).
+func (p Profile) Table3Accuracy() *Experiment {
+	e := &Experiment{
+		ID: "table3", Title: "Accuracy/cost tradeoff: CI τ sweep and DKNN θ sweep",
+		XLabel:  "config",
+		Metrics: []Metric{MetricUplink, MetricExact, MetricRecall, MetricRadErr},
+	}
+	for _, tau := range p.Taus {
+		e.Methods = append(e.Methods, CI(tau))
+	}
+	for _, theta := range p.Thetas {
+		proto := p.Proto
+		proto.ThetaInside = theta
+		e.Methods = append(e.Methods, MethodSpec{
+			Name:  fmt.Sprintf("DKNN(θ=%g)", theta),
+			Build: func() (sim.Method, error) { return core.New(proto) },
+		})
+	}
+	e.Points = []Point{{"default", p.Base}}
+	return e
+}
+
+// Table4Mobility: uplink/tick under each mobility model.
+func (p Profile) Table4Mobility() *Experiment {
+	e := &Experiment{
+		ID: "table4", Title: "Uplink messages per tick per mobility model",
+		XLabel: "model", Methods: p.methods(), Metrics: []Metric{MetricUplink},
+	}
+	kinds := append([]string(nil), p.Mobilities...)
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		cfg, err := workload.WithMobility(p.Base, kind)
+		if err != nil {
+			continue
+		}
+		e.Points = append(e.Points, Point{kind, cfg})
+	}
+	return e
+}

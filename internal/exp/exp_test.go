@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dmknn/internal/sim"
+	"dmknn/internal/workload"
+)
+
+// tiny returns a profile small enough for unit tests: two points per
+// sweep, a handful of ticks.
+func tiny() Profile {
+	p := SmokeProfile()
+	p.Base.Ticks = 15
+	p.Base.Warmup = 5
+	p.Base.NumObjects = 200
+	p.Base.NumQueries = 2
+	p.Ns = []int{150, 300}
+	p.Ks = []int{1, 5}
+	p.ObjSpeeds = []float64{5, 10}
+	p.QrySpeeds = []float64{0, 10}
+	p.Qs = []int{1, 4}
+	p.Horizons = []int{4, 8}
+	p.Taus = []float64{20}
+	p.Thetas = []float64{0, 20}
+	p.Mobilities = []string{workload.ModelWaypoint}
+	p.Grids = []int{8, 16}
+	p.Shards = []int{1, 2}
+	p.Losses = []float64{0, 0.05}
+	return p
+}
+
+func TestSuiteStructure(t *testing.T) {
+	suite := Suite(tiny())
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d experiments, want 15", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, e := range suite {
+		if e.ID == "" || e.Title == "" || e.XLabel == "" {
+			t.Errorf("experiment %q lacks metadata", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Points) == 0 || len(e.Methods) == 0 || len(e.Metrics) == 0 {
+			t.Errorf("experiment %q is empty", e.ID)
+		}
+		for _, pt := range e.Points {
+			if err := pt.Config.Validate(); err != nil {
+				t.Errorf("experiment %q point %q: %v", e.ID, pt.Label, err)
+			}
+		}
+	}
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table3", "table4"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestFig5RunAndShape(t *testing.T) {
+	p := tiny()
+	tbl, err := p.Fig5ObjectScaling().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(p.Ns) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	cp, ok := tbl.Column("CP")
+	if !ok {
+		t.Fatalf("no CP column in %v", tbl.Columns)
+	}
+	dknn, ok := tbl.Column("DKNN")
+	if !ok {
+		t.Fatalf("no DKNN column in %v", tbl.Columns)
+	}
+	// Shape assertions from the paper: CP grows ~linearly with N, DKNN
+	// stays below it and grows sublinearly.
+	if cp[1] < cp[0]*1.8 {
+		t.Errorf("CP not linear in N: %v", cp)
+	}
+	if dknn[1] >= cp[1] {
+		t.Errorf("DKNN (%v) should be below CP (%v)", dknn, cp)
+	}
+	ratio := dknn[1] / dknn[0]
+	if ratio > 1.8 {
+		t.Errorf("DKNN grew %vx for 2x objects", ratio)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID: "figX", Title: "demo", XLabel: "N",
+		Columns: []string{"CP", "DKNN"},
+		Rows: []Row{
+			{Label: "100", Values: []float64{100.5, 10.25}},
+			{Label: "200", Values: []float64{200, 11}},
+		},
+	}
+	text := tbl.Render()
+	for _, want := range []string{"figX", "demo", "CP", "DKNN", "100.50", "11.00"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### figX", "| N |", "| 100 |", "|---|---|---|"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	if _, ok := tbl.Column("nope"); ok {
+		t.Error("Column found a nonexistent column")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	p := tiny()
+	out, err := p.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CP", "DKNN", "location-report", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3HasAccuracyColumns(t *testing.T) {
+	p := tiny()
+	tbl, err := p.Table3Accuracy().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ=0 DKNN must be exact.
+	vals, ok := tbl.Column("DKNN(θ=0) exactness")
+	if !ok {
+		t.Fatalf("no exactness column: %v", tbl.Columns)
+	}
+	if vals[0] != 1.0 {
+		t.Errorf("DKNN θ=0 exactness = %v", vals[0])
+	}
+}
+
+func TestBuildErrorsPropagate(t *testing.T) {
+	e := &Experiment{
+		ID: "bad", Title: "bad", XLabel: "x",
+		Points:  []Point{{"p", tiny().Base}},
+		Methods: []MethodSpec{{Name: "broken", Build: func() (sim.Method, error) { return nil, errBoom }}},
+		Metrics: []Metric{MetricUplink},
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("build error swallowed")
+	}
+}
+
+var errBoom = &boomErr{}
+
+type boomErr struct{}
+
+func (*boomErr) Error() string { return "boom" }
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "figX", Title: "demo", XLabel: "N,comma",
+		Columns: []string{"CP", `DK"NN`},
+		Rows: []Row{
+			{Label: "100", Values: []float64{100.5, 10.25}},
+		},
+	}
+	csv := tbl.CSV()
+	want := "\"N,comma\",CP,\"DK\"\"NN\"\n100,100.5,10.25\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+// Seeds > 1 averages over distinct workloads: the averaged value lies
+// within the range of the individual runs, and single-seed equals the
+// plain run.
+func TestSeedsAveraging(t *testing.T) {
+	p := tiny()
+	e := p.Fig6VaryK()
+	e.Points = e.Points[:1]
+	e.Methods = e.Methods[:1] // CP only: exact N+Q regardless of seed
+	one, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Seeds = 3
+	avg, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CP's uplink is N+Q for every seed, so the mean equals the single run.
+	if one.Rows[0].Values[0] != avg.Rows[0].Values[0] {
+		t.Errorf("CP mean %v != single %v", avg.Rows[0].Values[0], one.Rows[0].Values[0])
+	}
+}

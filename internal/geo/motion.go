@@ -1,0 +1,107 @@
+package geo
+
+import "math"
+
+// DeadReckon returns the position reached from start after moving with
+// constant velocity v for dt time units.
+func DeadReckon(start Point, v Vector, dt float64) Point {
+	return start.Add(v.Scale(dt))
+}
+
+// RelativeClosingTime returns the earliest non-negative time at which two
+// points moving with constant velocities come within distance d of each
+// other, and whether such a time exists. A result of 0 means they are
+// already within d.
+//
+// The distributed monitor uses this to size safe regions: an object outside
+// the monitoring circle cannot affect the answer before the closing time
+// with the query's advertised track.
+func RelativeClosingTime(p Point, vp Vector, q Point, vq Vector, d float64) (float64, bool) {
+	// Work in the query's frame: relative position r(t) = r0 + vr*t,
+	// find the least t >= 0 with |r(t)| <= d.
+	r0 := p.Sub(q)
+	vr := Vector(vp.Sub(vq))
+	c := Vector(r0).LenSq() - d*d
+	if c <= 0 {
+		return 0, true
+	}
+	a := vr.LenSq()
+	b := 2 * Vector(r0).Dot(vr)
+	if a == 0 {
+		// No relative motion and currently farther than d.
+		return 0, false
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	t := (-b - sq) / (2 * a)
+	if t < 0 {
+		t = (-b + sq) / (2 * a)
+	}
+	if t < 0 {
+		return 0, false
+	}
+	return t, true
+}
+
+// EscapeTime returns the earliest time at which a point starting at p and
+// moving at speed at most vmax can exit the disk c, assuming worst-case
+// (straight outward) motion. If p is outside c the result is 0. If vmax is
+// zero and p is inside, the point can never escape and ok is false.
+func EscapeTime(p Point, vmax float64, c Circle) (t float64, ok bool) {
+	d := c.Center.Dist(p)
+	if d >= c.R {
+		return 0, true
+	}
+	if vmax <= 0 {
+		return 0, false
+	}
+	return (c.R - d) / vmax, true
+}
+
+// SafeRadius returns the slack to add to an answer radius so that, given
+// maximum object speed vobj and maximum query speed vqry, no object outside
+// the enlarged circle at install time can enter the true kNN within the
+// next `horizon` time units. This is the monitoring-region sizing rule of
+// the distributed protocol.
+func SafeRadius(answerRadius, vobj, vqry, horizon float64) float64 {
+	if answerRadius < 0 {
+		answerRadius = 0
+	}
+	return answerRadius + (vobj+vqry)*horizon
+}
+
+// ReflectInto folds a point that has left rectangle r back inside by
+// reflecting it across the violated boundary, flipping the matching
+// velocity component. It is used by the mobility models to keep objects in
+// the world; it handles overshoot larger than the world size by iterating.
+func ReflectInto(p Point, v Vector, r Rect) (Point, Vector) {
+	for i := 0; i < 64; i++ {
+		moved := false
+		if p.X < r.Min.X {
+			p.X = 2*r.Min.X - p.X
+			v.X = -v.X
+			moved = true
+		} else if p.X > r.Max.X {
+			p.X = 2*r.Max.X - p.X
+			v.X = -v.X
+			moved = true
+		}
+		if p.Y < r.Min.Y {
+			p.Y = 2*r.Min.Y - p.Y
+			v.Y = -v.Y
+			moved = true
+		} else if p.Y > r.Max.Y {
+			p.Y = 2*r.Max.Y - p.Y
+			v.Y = -v.Y
+			moved = true
+		}
+		if !moved {
+			return p, v
+		}
+	}
+	// Degenerate (e.g. zero-area rect with huge overshoot): clamp.
+	return r.Clamp(p), v
+}

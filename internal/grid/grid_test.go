@@ -1,0 +1,426 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+func world() geo.Rect { return geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)) }
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { New(world(), 0, 4) },
+		func() { New(world(), 4, -1) },
+		func() { New(geo.NewRect(geo.Pt(0, 0), geo.Pt(0, 100)), 4, 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCellOfClampsOutside(t *testing.T) {
+	g := New(world(), 10, 10)
+	if c := g.CellOf(geo.Pt(-5, 500)); c != (Cell{0, 5}) {
+		t.Errorf("left overshoot -> %v", c)
+	}
+	if c := g.CellOf(geo.Pt(1500, 1500)); c != (Cell{9, 9}) {
+		t.Errorf("topright overshoot -> %v", c)
+	}
+	if c := g.CellOf(geo.Pt(1000, 1000)); c != (Cell{9, 9}) {
+		t.Errorf("max corner -> %v", c)
+	}
+	if c := g.CellOf(geo.Pt(0, 0)); c != (Cell{0, 0}) {
+		t.Errorf("min corner -> %v", c)
+	}
+}
+
+func TestCellRectTilesWorld(t *testing.T) {
+	g := New(world(), 8, 5)
+	var area float64
+	for row := 0; row < 5; row++ {
+		for col := 0; col < 8; col++ {
+			area += g.CellRect(Cell{col, row}).Area()
+		}
+	}
+	if diff := area - world().Area(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("cells area %v != world area %v", area, world().Area())
+	}
+	// Every point maps to the cell whose rect contains it.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		c := g.CellOf(p)
+		if !g.CellRect(c).Contains(p) {
+			t.Fatalf("point %v not inside its cell %v rect %v", p, c, g.CellRect(c))
+		}
+	}
+}
+
+func TestInsertUpdateRemove(t *testing.T) {
+	g := New(world(), 4, 4)
+	if err := g.Insert(1, geo.Pt(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(1, geo.Pt(20, 20)); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if p, ok := g.Position(1); !ok || p != geo.Pt(10, 10) {
+		t.Fatalf("Position = %v %v", p, ok)
+	}
+	// Same-cell update.
+	if err := g.Update(1, geo.Pt(20, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-cell update.
+	if err := g.Update(1, geo.Pt(900, 900)); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := g.Position(1); p != geo.Pt(900, 900) {
+		t.Fatalf("after update Position = %v", p)
+	}
+	if got := g.CellObjects(g.CellOf(geo.Pt(20, 20))); len(got) != 0 {
+		t.Fatalf("old cell still holds %v", got)
+	}
+	if err := g.Update(99, geo.Pt(1, 1)); err == nil {
+		t.Fatal("update of absent id should fail")
+	}
+	if err := g.Remove(99); err == nil {
+		t.Fatal("remove of absent id should fail")
+	}
+	if err := g.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	if _, ok := g.Position(1); ok {
+		t.Fatal("Position of removed id should be absent")
+	}
+}
+
+// referenceIndex is the trivially correct map-based index the grid is
+// property-tested against.
+type referenceIndex map[model.ObjectID]geo.Point
+
+func (r referenceIndex) knn(p geo.Point, k int) []model.Neighbor {
+	all := make([]model.Neighbor, 0, len(r))
+	for id, pos := range r {
+		all = append(all, model.Neighbor{ID: id, Dist: pos.Dist(p)})
+	}
+	model.SortNeighbors(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func (r referenceIndex) rangeQ(c geo.Circle) []model.Neighbor {
+	var out []model.Neighbor
+	for id, pos := range r {
+		if d := pos.Dist(c.Center); d <= c.R {
+			out = append(out, model.Neighbor{ID: id, Dist: d})
+		}
+	}
+	model.SortNeighbors(out)
+	return out
+}
+
+func TestGridMatchesReferenceUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New(world(), 16, 16)
+	ref := referenceIndex{}
+	nextID := model.ObjectID(1)
+	randPoint := func() geo.Point {
+		return geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			id := nextID
+			nextID++
+			p := randPoint()
+			if err := g.Insert(id, p); err != nil {
+				t.Fatal(err)
+			}
+			ref[id] = p
+		case op < 8: // update a random live object
+			if len(ref) == 0 {
+				continue
+			}
+			id := randomKey(rng, ref)
+			p := randPoint()
+			if err := g.Update(id, p); err != nil {
+				t.Fatal(err)
+			}
+			ref[id] = p
+		default: // remove
+			if len(ref) == 0 {
+				continue
+			}
+			id := randomKey(rng, ref)
+			if err := g.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, id)
+		}
+	}
+	if g.Len() != len(ref) {
+		t.Fatalf("Len %d != reference %d", g.Len(), len(ref))
+	}
+	// Full content equality.
+	count := 0
+	g.VisitAll(func(id model.ObjectID, p geo.Point) bool {
+		count++
+		if ref[id] != p {
+			t.Fatalf("object %d at %v, reference says %v", id, p, ref[id])
+		}
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("VisitAll saw %d, want %d", count, len(ref))
+	}
+	// kNN equivalence at random query points and ks.
+	for q := 0; q < 200; q++ {
+		p := randPoint()
+		k := 1 + rng.Intn(25)
+		got := g.KNN(p, k, nil)
+		want := ref.knn(p, k)
+		if !neighborsEqual(got, want) {
+			t.Fatalf("KNN(%v, %d):\n got %v\nwant %v", p, k, got, want)
+		}
+	}
+	// Range equivalence.
+	for q := 0; q < 200; q++ {
+		c := geo.Circle{Center: randPoint(), R: rng.Float64() * 300}
+		got := g.Range(c, nil)
+		want := ref.rangeQ(c)
+		if !neighborsEqual(got, want) {
+			t.Fatalf("Range(%v):\n got %d results\nwant %d", c, len(got), len(want))
+		}
+	}
+}
+
+func randomKey(rng *rand.Rand, m referenceIndex) model.ObjectID {
+	ids := make([]model.ObjectID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}
+
+func neighborsEqual(a, b []model.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+		if d := a[i].Dist - b[i].Dist; d > 1e-9 || d < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	g := New(world(), 8, 8)
+	if got := g.KNN(geo.Pt(1, 1), 3, nil); got != nil {
+		t.Fatalf("empty grid kNN = %v", got)
+	}
+	if got := g.KNN(geo.Pt(1, 1), 0, nil); got != nil {
+		t.Fatalf("k=0 kNN = %v", got)
+	}
+	for i := model.ObjectID(1); i <= 3; i++ {
+		if err := g.Insert(i, geo.Pt(float64(i)*100, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.KNN(geo.Pt(0, 0), 10, nil)
+	if len(got) != 3 {
+		t.Fatalf("k larger than population: %v", got)
+	}
+	if got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+		t.Fatalf("order wrong: %v", got)
+	}
+}
+
+func TestKNNSkipSet(t *testing.T) {
+	g := New(world(), 8, 8)
+	for i := model.ObjectID(1); i <= 5; i++ {
+		if err := g.Insert(i, geo.Pt(float64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.KNN(geo.Pt(0, 0), 2, map[model.ObjectID]bool{1: true, 2: true})
+	if len(got) != 2 || got[0].ID != 3 || got[1].ID != 4 {
+		t.Fatalf("skip set ignored: %v", got)
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	g := New(world(), 8, 8)
+	if err := g.Insert(1, geo.Pt(100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Range(geo.Circle{Center: geo.Pt(0, 0), R: -1}, nil); got != nil {
+		t.Fatalf("negative radius range = %v", got)
+	}
+	// Boundary-inclusive.
+	got := g.Range(geo.Circle{Center: geo.Pt(100, 0), R: 100}, nil)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("boundary object missed: %v", got)
+	}
+	got = g.Range(geo.Circle{Center: geo.Pt(100, 0), R: 99.999}, nil)
+	if len(got) != 0 {
+		t.Fatalf("object outside included: %v", got)
+	}
+	// Skip set.
+	got = g.Range(geo.Circle{Center: geo.Pt(100, 100), R: 10}, map[model.ObjectID]bool{1: true})
+	if len(got) != 0 {
+		t.Fatalf("skip set ignored: %v", got)
+	}
+}
+
+func TestVisitCellsByMinDistOrderAndCoverage(t *testing.T) {
+	g := New(world(), 12, 7)
+	from := geo.Pt(333, 777)
+	var last float64 = -1
+	seen := map[Cell]bool{}
+	g.VisitCellsByMinDist(from, func(c Cell, d float64) bool {
+		if d < last {
+			t.Fatalf("min-dist order violated: %v after %v", d, last)
+		}
+		last = d
+		if seen[c] {
+			t.Fatalf("cell %v visited twice", c)
+		}
+		seen[c] = true
+		if want := g.CellRect(c).MinDist(from); want != d {
+			t.Fatalf("reported dist %v != computed %v", d, want)
+		}
+		return true
+	})
+	if len(seen) != 12*7 {
+		t.Fatalf("visited %d cells, want %d", len(seen), 12*7)
+	}
+}
+
+func TestVisitCellsEarlyStop(t *testing.T) {
+	g := New(world(), 10, 10)
+	n := 0
+	g.VisitCellsByMinDist(geo.Pt(500, 500), func(c Cell, d float64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCellsIntersecting(t *testing.T) {
+	g := New(world(), 10, 10) // 100x100 cells
+	// Tiny circle strictly inside one cell.
+	cells := g.CellsIntersecting(geo.Circle{Center: geo.Pt(150, 150), R: 10})
+	if len(cells) != 1 || cells[0] != (Cell{1, 1}) {
+		t.Fatalf("tiny circle -> %v", cells)
+	}
+	// Circle centered on a cell corner touches 4 cells.
+	cells = g.CellsIntersecting(geo.Circle{Center: geo.Pt(200, 200), R: 10})
+	if len(cells) != 4 {
+		t.Fatalf("corner circle -> %v", cells)
+	}
+	// Negative radius intersects nothing.
+	if got := g.CellsIntersecting(geo.Circle{Center: geo.Pt(0, 0), R: -1}); got != nil {
+		t.Fatalf("negative radius -> %v", got)
+	}
+	// Every returned cell really intersects; every omitted cell doesn't.
+	c := geo.Circle{Center: geo.Pt(430, 611), R: 140}
+	inSet := map[Cell]bool{}
+	for _, cell := range g.CellsIntersecting(c) {
+		inSet[cell] = true
+		if !c.IntersectsRect(g.CellRect(cell)) {
+			t.Fatalf("returned cell %v does not intersect", cell)
+		}
+	}
+	for row := 0; row < 10; row++ {
+		for col := 0; col < 10; col++ {
+			cell := Cell{col, row}
+			if !inSet[cell] && c.IntersectsRect(g.CellRect(cell)) {
+				t.Fatalf("cell %v intersects but was omitted", cell)
+			}
+		}
+	}
+}
+
+func TestVisitAllEarlyStop(t *testing.T) {
+	g := New(world(), 4, 4)
+	for i := model.ObjectID(1); i <= 10; i++ {
+		if err := g.Insert(i, geo.Pt(float64(i)*10, float64(i)*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	g.VisitAll(func(model.ObjectID, geo.Point) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("VisitAll early stop saw %d", n)
+	}
+}
+
+func BenchmarkGridUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g := New(world(), 64, 64)
+	const n = 20000
+	pts := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if err := g.Insert(model.ObjectID(i+1), pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		p := pts[j]
+		p.X += rng.Float64()*4 - 2
+		p.Y += rng.Float64()*4 - 2
+		p = world().Clamp(p)
+		pts[j] = p
+		if err := g.Update(model.ObjectID(j+1), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	g := New(world(), 64, 64)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := g.Insert(model.ObjectID(i+1), geo.Pt(rng.Float64()*1000, rng.Float64()*1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KNN(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 10, nil)
+	}
+}

@@ -1,0 +1,56 @@
+// Package index defines the common interface of the engine's spatial
+// index substrates — the uniform grid (internal/grid) and the R-tree
+// (internal/rtree) — so the centralized query servers can be ablated over
+// the index choice (EXPERIMENTS.md fig14).
+package index
+
+import (
+	"fmt"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/model"
+	"dmknn/internal/rtree"
+)
+
+// Spatial is an updatable point index with the two search operations the
+// query servers need.
+type Spatial interface {
+	Insert(id model.ObjectID, p geo.Point) error
+	Update(id model.ObjectID, p geo.Point) error
+	Remove(id model.ObjectID) error
+	Position(id model.ObjectID) (geo.Point, bool)
+	Len() int
+	// KNN returns the k nearest objects in ascending distance order,
+	// ties by id; skip excludes ids.
+	KNN(q geo.Point, k int, skip map[model.ObjectID]bool) []model.Neighbor
+	// Range returns every object inside the circle, ascending by
+	// distance with ties by id.
+	Range(c geo.Circle, skip map[model.ObjectID]bool) []model.Neighbor
+	VisitAll(fn func(id model.ObjectID, p geo.Point) bool)
+}
+
+// Compile-time checks that both substrates satisfy the interface.
+var (
+	_ Spatial = (*grid.Grid)(nil)
+	_ Spatial = (*rtree.Tree)(nil)
+)
+
+// Kind names accepted by New.
+const (
+	KindGrid  = "grid"
+	KindRTree = "rtree"
+)
+
+// New constructs the named index over the world (the grid uses the given
+// cell layout; the R-tree adapts to the data and ignores it).
+func New(kind string, world geo.Rect, cols, rows int) (Spatial, error) {
+	switch kind {
+	case KindGrid, "":
+		return grid.New(world, cols, rows), nil
+	case KindRTree:
+		return rtree.New(), nil
+	default:
+		return nil, fmt.Errorf("index: unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,117 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+func TestNewKinds(t *testing.T) {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	for _, kind := range []string{KindGrid, KindRTree, ""} {
+		idx, err := New(kind, world, 4, 4)
+		if err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+		if idx == nil {
+			t.Fatalf("%q: nil index", kind)
+		}
+	}
+	if _, err := New("btree", world, 4, 4); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// Both substrates must agree exactly on every operation over the same
+// random stream — the interface contract, checked implementation against
+// implementation.
+func TestSubstratesAgree(t *testing.T) {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	g, err := New(KindGrid, world, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(KindRTree, world, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	live := map[model.ObjectID]bool{}
+	nextID := model.ObjectID(1)
+	randPt := func() geo.Point { return geo.Pt(rng.Float64()*1000, rng.Float64()*1000) }
+	for step := 0; step < 6000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5:
+			id := nextID
+			nextID++
+			p := randPt()
+			if err := g.Insert(id, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Insert(id, p); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = true
+		case op < 8 && len(live) > 0:
+			id := anyID(rng, live)
+			p := randPt()
+			if err := g.Update(id, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Update(id, p); err != nil {
+				t.Fatal(err)
+			}
+		case len(live) > 0:
+			id := anyID(rng, live)
+			if err := g.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, id)
+		}
+	}
+	if g.Len() != r.Len() {
+		t.Fatalf("sizes differ: %d vs %d", g.Len(), r.Len())
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := randPt()
+		k := 1 + rng.Intn(20)
+		gk, rk := g.KNN(q, k, nil), r.KNN(q, k, nil)
+		if len(gk) != len(rk) {
+			t.Fatalf("kNN lengths differ: %d vs %d", len(gk), len(rk))
+		}
+		for i := range gk {
+			if gk[i].ID != rk[i].ID {
+				t.Fatalf("kNN disagree at %d: %v vs %v", i, gk[i], rk[i])
+			}
+		}
+		c := geo.Circle{Center: q, R: rng.Float64() * 150}
+		gr, rr := g.Range(c, nil), r.Range(c, nil)
+		if len(gr) != len(rr) {
+			t.Fatalf("range lengths differ: %d vs %d", len(gr), len(rr))
+		}
+		for i := range gr {
+			if gr[i].ID != rr[i].ID {
+				t.Fatalf("range disagree at %d: %v vs %v", i, gr[i], rr[i])
+			}
+		}
+	}
+}
+
+func anyID(rng *rand.Rand, live map[model.ObjectID]bool) model.ObjectID {
+	ids := make([]model.ObjectID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	// Deterministic order for reproducibility.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids[rng.Intn(len(ids))]
+}

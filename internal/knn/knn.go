@@ -1,0 +1,115 @@
+// Package knn provides the query-evaluation primitives layered on top of
+// the spatial index: a brute-force oracle (the correctness reference for
+// every other evaluator and the auditor's ground truth), and the small
+// candidate-set evaluator the distributed server maintains per query.
+package knn
+
+import (
+	"dmknn/internal/container/pq"
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+// BruteForce returns the k nearest states to q in ascending distance
+// order, ties broken by id. skip, if non-nil, excludes ids. It is O(n log
+// k) and allocation-light; correctness is self-evident, which is why it
+// anchors the property tests.
+func BruteForce(states []model.ObjectState, q geo.Point, k int, skip map[model.ObjectID]bool) []model.Neighbor {
+	if k <= 0 || len(states) == 0 {
+		return nil
+	}
+	best := pq.NewBoundedMax[model.ObjectID](k)
+	for i := range states {
+		s := &states[i]
+		if skip != nil && skip[s.ID] {
+			continue
+		}
+		best.Offer(s.Pos.Dist(q), s.ID)
+	}
+	dists, ids := best.Drain()
+	out := make([]model.Neighbor, len(ids))
+	for i := range ids {
+		out[i] = model.Neighbor{ID: ids[i], Dist: dists[i]}
+	}
+	model.SortNeighbors(out)
+	return out
+}
+
+// CandidateSet is the distributed server's per-query working set: the last
+// reported positions of the objects currently known to be relevant to one
+// query. It supports the two operations the monitor needs — kNN among
+// candidates, and counting candidates within a circle (to decide whether
+// the answer can still be complete).
+type CandidateSet struct {
+	pos map[model.ObjectID]geo.Point
+}
+
+// NewCandidateSet returns an empty candidate set.
+func NewCandidateSet() *CandidateSet {
+	return &CandidateSet{pos: make(map[model.ObjectID]geo.Point)}
+}
+
+// Len returns the number of candidates.
+func (c *CandidateSet) Len() int { return len(c.pos) }
+
+// Set records (or updates) a candidate's last reported position.
+func (c *CandidateSet) Set(id model.ObjectID, p geo.Point) { c.pos[id] = p }
+
+// Remove forgets a candidate. Removing an absent id is a no-op.
+func (c *CandidateSet) Remove(id model.ObjectID) { delete(c.pos, id) }
+
+// Has reports whether id is a candidate.
+func (c *CandidateSet) Has(id model.ObjectID) bool {
+	_, ok := c.pos[id]
+	return ok
+}
+
+// Position returns the recorded position of id.
+func (c *CandidateSet) Position(id model.ObjectID) (geo.Point, bool) {
+	p, ok := c.pos[id]
+	return p, ok
+}
+
+// Clear removes all candidates.
+func (c *CandidateSet) Clear() {
+	clear(c.pos)
+}
+
+// KNN returns the k nearest candidates to q, ascending by distance with
+// ties broken by id.
+func (c *CandidateSet) KNN(q geo.Point, k int) []model.Neighbor {
+	if k <= 0 || len(c.pos) == 0 {
+		return nil
+	}
+	best := pq.NewBoundedMax[model.ObjectID](k)
+	for id, p := range c.pos {
+		best.Offer(p.Dist(q), id)
+	}
+	dists, ids := best.Drain()
+	out := make([]model.Neighbor, len(ids))
+	for i := range ids {
+		out[i] = model.Neighbor{ID: ids[i], Dist: dists[i]}
+	}
+	model.SortNeighbors(out)
+	return out
+}
+
+// CountWithin returns how many candidates lie inside the circle.
+func (c *CandidateSet) CountWithin(circle geo.Circle) int {
+	n := 0
+	for _, p := range c.pos {
+		if circle.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Visit calls fn for every candidate; iteration order is unspecified.
+func (c *CandidateSet) Visit(fn func(id model.ObjectID, p geo.Point) bool) {
+	for id, p := range c.pos {
+		if !fn(id, p) {
+			return
+		}
+	}
+}

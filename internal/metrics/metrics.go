@@ -1,0 +1,274 @@
+// Package metrics meters the quantities the evaluation reports: message
+// counts and bytes by direction and kind, server processing time, and
+// answer quality against ground truth.
+//
+// The counters are plain structs the simulated network updates inline; the
+// experiment harness snapshots them per tick to build the series behind
+// each figure.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// Direction classifies a message by who pays for it on the wireless
+// medium.
+type Direction uint8
+
+// Message directions.
+const (
+	Uplink Direction = iota // client → server unicast
+	Downlink
+	Broadcast
+	numDirections
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Uplink:
+		return "uplink"
+	case Downlink:
+		return "downlink"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("direction(%d)", uint8(d))
+	}
+}
+
+// Directions lists all directions in presentation order.
+func Directions() []Direction { return []Direction{Uplink, Downlink, Broadcast} }
+
+// maxKind bounds the per-kind arrays; protocol kinds are small and dense.
+const maxKind = 32
+
+// Counters accumulates message traffic. The zero value is ready to use.
+// Counters are not safe for concurrent use; the simulation is
+// single-threaded per run and the TCP server wraps them in its own mutex.
+type Counters struct {
+	sent      [numDirections][maxKind]uint64
+	sentBytes [numDirections][maxKind]uint64
+	delivered [numDirections]uint64
+	dropped   [numDirections]uint64
+}
+
+// RecordSend notes that one message of the given kind and size was sent in
+// the given direction. For broadcasts, "one message" is one cell-level
+// transmission; a region broadcast covering c cells records c sends.
+func (c *Counters) RecordSend(d Direction, k protocol.Kind, size int) {
+	c.sent[d][k]++
+	c.sentBytes[d][k] += uint64(size)
+}
+
+// RecordDeliver notes a successful delivery to one recipient.
+func (c *Counters) RecordDeliver(d Direction) { c.delivered[d]++ }
+
+// RecordDrop notes a message lost in transit.
+func (c *Counters) RecordDrop(d Direction) { c.dropped[d]++ }
+
+// Sent returns the number of messages sent in direction d (all kinds).
+func (c *Counters) Sent(d Direction) uint64 {
+	var total uint64
+	for _, v := range c.sent[d] {
+		total += v
+	}
+	return total
+}
+
+// SentKind returns the number of messages of kind k sent in direction d.
+func (c *Counters) SentKind(d Direction, k protocol.Kind) uint64 {
+	return c.sent[d][k]
+}
+
+// SentBytes returns the bytes sent in direction d (all kinds).
+func (c *Counters) SentBytes(d Direction) uint64 {
+	var total uint64
+	for _, v := range c.sentBytes[d] {
+		total += v
+	}
+	return total
+}
+
+// Delivered returns deliveries in direction d.
+func (c *Counters) Delivered(d Direction) uint64 { return c.delivered[d] }
+
+// Dropped returns drops in direction d.
+func (c *Counters) Dropped(d Direction) uint64 { return c.dropped[d] }
+
+// Snapshot returns a copy of the current counter state.
+func (c *Counters) Snapshot() Counters { return *c }
+
+// Diff returns the traffic accumulated between the older snapshot and c.
+func (c *Counters) Diff(older Counters) Counters {
+	var out Counters
+	for d := Direction(0); d < numDirections; d++ {
+		for k := 0; k < maxKind; k++ {
+			out.sent[d][k] = c.sent[d][k] - older.sent[d][k]
+			out.sentBytes[d][k] = c.sentBytes[d][k] - older.sentBytes[d][k]
+		}
+		out.delivered[d] = c.delivered[d] - older.delivered[d]
+		out.dropped[d] = c.dropped[d] - older.dropped[d]
+	}
+	return out
+}
+
+// BreakdownTable renders a per-kind, per-direction message table, omitting
+// all-zero rows. It is the body of the "message breakdown" experiment
+// table.
+func (c *Counters) BreakdownTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", "kind", "uplink", "downlink", "broadcast")
+	for _, k := range protocol.Kinds() {
+		u, dn, br := c.sent[Uplink][k], c.sent[Downlink][k], c.sent[Broadcast][k]
+		if u == 0 && dn == 0 && br == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %12d %12d %12d\n", k, u, dn, br)
+	}
+	fmt.Fprintf(&b, "%-18s %12d %12d %12d\n", "TOTAL",
+		c.Sent(Uplink), c.Sent(Downlink), c.Sent(Broadcast))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Answer quality audit
+
+// Audit accumulates per-tick answer quality against ground truth. The zero
+// value is ready to use.
+type Audit struct {
+	evaluations  int
+	exact        int
+	sumPrecision float64
+	sumRecall    float64
+	sumRadiusErr float64 // relative error of the k-th distance
+	worstRecall  float64
+	initialized  bool
+}
+
+// Observe compares one produced answer with the ground truth for the same
+// query and tick, and accumulates quality statistics.
+func (a *Audit) Observe(got, truth model.Answer) {
+	a.evaluations++
+	gotSet := got.IDSet()
+	truthSet := truth.IDSet()
+	inter := 0
+	for id := range gotSet {
+		if truthSet[id] {
+			inter++
+		}
+	}
+	precision, recall := 1.0, 1.0
+	if len(gotSet) > 0 {
+		precision = float64(inter) / float64(len(gotSet))
+	} else if len(truthSet) > 0 {
+		precision = 0
+	}
+	if len(truthSet) > 0 {
+		recall = float64(inter) / float64(len(truthSet))
+	}
+	if model.SameMembers(got, truth) {
+		a.exact++
+	}
+	a.sumPrecision += precision
+	a.sumRecall += recall
+	if !a.initialized || recall < a.worstRecall {
+		a.worstRecall = recall
+		a.initialized = true
+	}
+	tk := truth.KthDist()
+	if tk > 0 {
+		a.sumRadiusErr += math.Abs(got.KthDist()-tk) / tk
+	}
+}
+
+// Evaluations returns how many answers were audited.
+func (a *Audit) Evaluations() int { return a.evaluations }
+
+// Exactness returns the fraction of audited answers whose membership
+// exactly matched ground truth. It returns 1 for an empty audit.
+func (a *Audit) Exactness() float64 {
+	if a.evaluations == 0 {
+		return 1
+	}
+	return float64(a.exact) / float64(a.evaluations)
+}
+
+// MeanPrecision returns the average precision over all audited answers.
+func (a *Audit) MeanPrecision() float64 {
+	if a.evaluations == 0 {
+		return 1
+	}
+	return a.sumPrecision / float64(a.evaluations)
+}
+
+// MeanRecall returns the average recall over all audited answers.
+func (a *Audit) MeanRecall() float64 {
+	if a.evaluations == 0 {
+		return 1
+	}
+	return a.sumRecall / float64(a.evaluations)
+}
+
+// WorstRecall returns the lowest per-answer recall seen (1 if none).
+func (a *Audit) WorstRecall() float64 {
+	if !a.initialized {
+		return 1
+	}
+	return a.worstRecall
+}
+
+// MeanRadiusError returns the mean relative error of the k-th neighbor
+// distance versus ground truth.
+func (a *Audit) MeanRadiusError() float64 {
+	if a.evaluations == 0 {
+		return 0
+	}
+	return a.sumRadiusErr / float64(a.evaluations)
+}
+
+// ---------------------------------------------------------------------------
+// Numeric series
+
+// Series collects one scalar sample per tick and reports summary
+// statistics; the experiment harness uses one per (metric, run).
+type Series struct {
+	values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.values = append(s.values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	var max float64
+	for i, v := range s.values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Values returns the underlying samples (not a copy).
+func (s *Series) Values() []float64 { return s.values }

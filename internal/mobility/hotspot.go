@@ -1,0 +1,108 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+// Hotspot implements a skewed random-waypoint model: destinations are
+// drawn from Gaussian clusters around a fixed set of hotspot centers
+// (with a small uniform background), producing the dense-downtown /
+// sparse-suburb population shape that stresses uniform spatial indexes.
+// Everything else matches RandomWaypoint.
+type Hotspot struct {
+	cfg     Config
+	rng     *rand.Rand
+	centers []geo.Point
+	// Spread is the Gaussian σ of each cluster, meters.
+	Spread float64
+	// Background is the probability of a uniform destination instead of
+	// a cluster one.
+	Background float64
+	state      []waypointState
+}
+
+// NewHotspot returns a hotspot model with n cluster centers placed
+// uniformly at construction (fixed thereafter), Gaussian spread σ, and
+// the given uniform-background probability.
+func NewHotspot(cfg Config, nCenters int, spread, background float64) (*Hotspot, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if nCenters <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one hotspot, got %d", nCenters)
+	}
+	if spread <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive spread %v", spread)
+	}
+	if background < 0 || background > 1 {
+		return nil, fmt.Errorf("mobility: background probability %v outside [0,1]", background)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([]geo.Point, nCenters)
+	for i := range centers {
+		centers[i] = cfg.point(rng)
+	}
+	return &Hotspot{
+		cfg:        cfg,
+		rng:        rng,
+		centers:    centers,
+		Spread:     spread,
+		Background: background,
+	}, nil
+}
+
+// Name implements Model.
+func (m *Hotspot) Name() string { return "hotspot" }
+
+// destination draws a skewed waypoint.
+func (m *Hotspot) destination() geo.Point {
+	if m.rng.Float64() < m.Background {
+		return m.cfg.point(m.rng)
+	}
+	c := m.centers[m.rng.Intn(len(m.centers))]
+	p := geo.Pt(
+		c.X+m.rng.NormFloat64()*m.Spread,
+		c.Y+m.rng.NormFloat64()*m.Spread,
+	)
+	return m.cfg.World.Clamp(p)
+}
+
+// Init implements Model: objects start at skewed destinations.
+func (m *Hotspot) Init(n int) []model.ObjectState {
+	states := make([]model.ObjectState, n)
+	m.state = make([]waypointState, n)
+	for i := range states {
+		states[i] = model.ObjectState{ID: model.ObjectID(i + 1), Pos: m.destination()}
+		m.retarget(&states[i], &m.state[i])
+	}
+	return states
+}
+
+func (m *Hotspot) retarget(s *model.ObjectState, w *waypointState) {
+	w.dest = m.destination()
+	speed := m.cfg.speed(m.rng)
+	dir := geo.Vector(w.dest.Sub(s.Pos)).Norm()
+	s.Vel = dir.Scale(speed)
+}
+
+// Step implements Model (identical leg mechanics to RandomWaypoint,
+// without pausing).
+func (m *Hotspot) Step(states []model.ObjectState, dt float64) {
+	for i := range states {
+		s, w := &states[i], &m.state[i]
+		remaining := s.Pos.Dist(w.dest)
+		travel := s.Vel.Len() * dt
+		if travel >= remaining {
+			s.Pos = w.dest
+			m.retarget(s, w)
+			continue
+		}
+		s.Pos = geo.DeadReckon(s.Pos, s.Vel, dt)
+	}
+}
+
+var _ Model = (*Hotspot)(nil)

@@ -1,0 +1,366 @@
+// Package mobility generates synthetic movement for the data objects and
+// query focal points. It stands in for the proprietary road-network trace
+// generators (Brinkhoff-style) used by the original evaluation: the three
+// models below expose the same knobs the paper's experiments sweep —
+// population size, maximum speed, and turn behavior — which is what the
+// communication-cost results depend on.
+//
+// Models:
+//
+//   - RandomWaypoint: pick a destination uniformly, travel to it at a
+//     uniform speed in [vmin, vmax], pause, repeat. The classic mobile-
+//     computing workload.
+//   - RandomDirection: pick a heading and a speed, travel until a timer
+//     expires or the border reflects the object.
+//   - Manhattan: objects move along the edges of a uniform road grid,
+//     turning at intersections with configurable probability — a cheap
+//     synthetic substitute for road-network traces.
+//
+// All models are deterministic given a seed, so experiments are exactly
+// reproducible and every method in a comparison sees the identical object
+// trajectories.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+// Model evolves a population of moving objects in discrete time steps.
+// Implementations own any per-object bookkeeping (waypoints, timers, road
+// positions) indexed alongside the state slice they were initialized with.
+type Model interface {
+	// Init places n objects in the world and returns their initial
+	// kinematic states. Object ids are 1..n.
+	Init(n int) []model.ObjectState
+	// Step advances every state by dt time units, in place.
+	Step(states []model.ObjectState, dt float64)
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// Config carries the knobs shared by all models.
+type Config struct {
+	World    geo.Rect
+	MinSpeed float64 // m/s; must be >= 0
+	MaxSpeed float64 // m/s; must be >= MinSpeed
+	Seed     int64
+}
+
+func (c Config) validate() error {
+	if c.World.Width() <= 0 || c.World.Height() <= 0 {
+		return fmt.Errorf("mobility: degenerate world %v", c.World)
+	}
+	if c.MinSpeed < 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: bad speed range [%v, %v]", c.MinSpeed, c.MaxSpeed)
+	}
+	return nil
+}
+
+func (c Config) speed(rng *rand.Rand) float64 {
+	if c.MaxSpeed == c.MinSpeed {
+		return c.MaxSpeed
+	}
+	return c.MinSpeed + rng.Float64()*(c.MaxSpeed-c.MinSpeed)
+}
+
+func (c Config) point(rng *rand.Rand) geo.Point {
+	return geo.Pt(
+		c.World.Min.X+rng.Float64()*c.World.Width(),
+		c.World.Min.Y+rng.Float64()*c.World.Height(),
+	)
+}
+
+// ---------------------------------------------------------------------------
+// Random waypoint
+
+// RandomWaypoint implements the random-waypoint model.
+type RandomWaypoint struct {
+	cfg   Config
+	rng   *rand.Rand
+	Pause float64 // pause duration at each waypoint, time units
+	state []waypointState
+}
+
+type waypointState struct {
+	dest     geo.Point
+	pauseRem float64
+}
+
+// NewRandomWaypoint returns a random-waypoint model. pause is the dwell
+// time at each reached waypoint (0 for continuous motion).
+func NewRandomWaypoint(cfg Config, pause float64) (*RandomWaypoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if pause < 0 {
+		return nil, fmt.Errorf("mobility: negative pause %v", pause)
+	}
+	return &RandomWaypoint{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), Pause: pause}, nil
+}
+
+// Name implements Model.
+func (m *RandomWaypoint) Name() string { return "random-waypoint" }
+
+// Init implements Model.
+func (m *RandomWaypoint) Init(n int) []model.ObjectState {
+	states := make([]model.ObjectState, n)
+	m.state = make([]waypointState, n)
+	for i := range states {
+		pos := m.cfg.point(m.rng)
+		states[i] = model.ObjectState{ID: model.ObjectID(i + 1), Pos: pos}
+		m.retarget(&states[i], &m.state[i])
+	}
+	return states
+}
+
+func (m *RandomWaypoint) retarget(s *model.ObjectState, w *waypointState) {
+	w.dest = m.cfg.point(m.rng)
+	speed := m.cfg.speed(m.rng)
+	dir := geo.Vector(w.dest.Sub(s.Pos)).Norm()
+	s.Vel = dir.Scale(speed)
+}
+
+// Step implements Model.
+func (m *RandomWaypoint) Step(states []model.ObjectState, dt float64) {
+	for i := range states {
+		s, w := &states[i], &m.state[i]
+		if w.pauseRem > 0 {
+			w.pauseRem -= dt
+			if w.pauseRem <= 0 {
+				m.retarget(s, w)
+			} else {
+				s.Vel = geo.Vec(0, 0)
+				continue
+			}
+		}
+		remaining := s.Pos.Dist(w.dest)
+		travel := s.Vel.Len() * dt
+		if travel >= remaining {
+			// Arrive exactly, then pause or retarget.
+			s.Pos = w.dest
+			if m.Pause > 0 {
+				w.pauseRem = m.Pause
+				s.Vel = geo.Vec(0, 0)
+			} else {
+				m.retarget(s, w)
+			}
+			continue
+		}
+		s.Pos = geo.DeadReckon(s.Pos, s.Vel, dt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random direction
+
+// RandomDirection implements the random-direction model with border
+// reflection.
+type RandomDirection struct {
+	cfg     Config
+	rng     *rand.Rand
+	MeanLeg float64 // mean leg duration before picking a new heading
+	state   []directionState
+}
+
+type directionState struct {
+	legRem float64
+}
+
+// NewRandomDirection returns a random-direction model. meanLeg is the mean
+// duration of a straight leg (exponentially distributed).
+func NewRandomDirection(cfg Config, meanLeg float64) (*RandomDirection, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if meanLeg <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive mean leg %v", meanLeg)
+	}
+	return &RandomDirection{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), MeanLeg: meanLeg}, nil
+}
+
+// Name implements Model.
+func (m *RandomDirection) Name() string { return "random-direction" }
+
+// Init implements Model.
+func (m *RandomDirection) Init(n int) []model.ObjectState {
+	states := make([]model.ObjectState, n)
+	m.state = make([]directionState, n)
+	for i := range states {
+		states[i] = model.ObjectState{ID: model.ObjectID(i + 1), Pos: m.cfg.point(m.rng)}
+		m.turn(&states[i], &m.state[i])
+	}
+	return states
+}
+
+func (m *RandomDirection) turn(s *model.ObjectState, d *directionState) {
+	theta := m.rng.Float64() * 2 * math.Pi
+	speed := m.cfg.speed(m.rng)
+	s.Vel = geo.Vec(math.Cos(theta), math.Sin(theta)).Scale(speed)
+	d.legRem = m.rng.ExpFloat64() * m.MeanLeg
+}
+
+// Step implements Model.
+func (m *RandomDirection) Step(states []model.ObjectState, dt float64) {
+	for i := range states {
+		s, d := &states[i], &m.state[i]
+		d.legRem -= dt
+		if d.legRem <= 0 {
+			m.turn(s, d)
+		}
+		p := geo.DeadReckon(s.Pos, s.Vel, dt)
+		s.Pos, s.Vel = geo.ReflectInto(p, s.Vel, m.cfg.World)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Manhattan road grid
+
+// Manhattan moves objects along the edges of a uniform road grid with
+// blocks of the given size; at each intersection the object continues
+// straight with probability 1-TurnProb, else turns left or right with
+// equal probability.
+type Manhattan struct {
+	cfg      Config
+	rng      *rand.Rand
+	Block    float64 // road spacing, meters
+	TurnProb float64
+	state    []manhattanState
+}
+
+type manhattanState struct {
+	// heading is a unit axis vector: one of (±1,0), (0,±1).
+	heading geo.Vector
+	speed   float64
+	// distance remaining to the next intersection along heading.
+	toNext float64
+}
+
+// NewManhattan returns a Manhattan road-grid model.
+func NewManhattan(cfg Config, block, turnProb float64) (*Manhattan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if block <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive block %v", block)
+	}
+	if turnProb < 0 || turnProb > 1 {
+		return nil, fmt.Errorf("mobility: turn probability %v outside [0,1]", turnProb)
+	}
+	return &Manhattan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), Block: block, TurnProb: turnProb}, nil
+}
+
+// Name implements Model.
+func (m *Manhattan) Name() string { return "manhattan" }
+
+var headings = []geo.Vector{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+
+// Init implements Model.
+func (m *Manhattan) Init(n int) []model.ObjectState {
+	states := make([]model.ObjectState, n)
+	m.state = make([]manhattanState, n)
+	for i := range states {
+		// Snap a random point onto the road network: keep one coordinate,
+		// snap the other to the nearest road line.
+		p := m.cfg.point(m.rng)
+		if m.rng.Intn(2) == 0 {
+			p.Y = m.snap(p.Y, m.cfg.World.Min.Y)
+		} else {
+			p.X = m.snap(p.X, m.cfg.World.Min.X)
+		}
+		h := headings[m.rng.Intn(len(headings))]
+		// Heading must run along the road the object is on.
+		onHorizontal := math.Mod(p.Y-m.cfg.World.Min.Y, m.Block) == 0
+		if onHorizontal && h.X == 0 {
+			h = headings[m.rng.Intn(2)] // force ±x
+		} else if !onHorizontal && h.Y == 0 {
+			h = headings[2+m.rng.Intn(2)] // force ±y
+		}
+		st := &m.state[i]
+		st.heading = h
+		st.speed = m.cfg.speed(m.rng)
+		st.toNext = m.distToNextIntersection(p, h)
+		states[i] = model.ObjectState{ID: model.ObjectID(i + 1), Pos: p, Vel: h.Scale(st.speed)}
+	}
+	return states
+}
+
+func (m *Manhattan) snap(v, min float64) float64 {
+	return min + math.Round((v-min)/m.Block)*m.Block
+}
+
+func (m *Manhattan) distToNextIntersection(p geo.Point, h geo.Vector) float64 {
+	var along, min float64
+	if h.X != 0 {
+		along, min = p.X, m.cfg.World.Min.X
+	} else {
+		along, min = p.Y, m.cfg.World.Min.Y
+	}
+	off := math.Mod(along-min, m.Block)
+	if off < 0 {
+		off += m.Block
+	}
+	if h.X > 0 || h.Y > 0 {
+		d := m.Block - off
+		if d == 0 {
+			d = m.Block
+		}
+		return d
+	}
+	if off == 0 {
+		return m.Block
+	}
+	return off
+}
+
+// Step implements Model.
+func (m *Manhattan) Step(states []model.ObjectState, dt float64) {
+	for i := range states {
+		s, st := &states[i], &m.state[i]
+		travel := st.speed * dt
+		for travel > 0 {
+			if travel < st.toNext {
+				s.Pos = s.Pos.Add(st.heading.Scale(travel))
+				st.toNext -= travel
+				break
+			}
+			// Reach the intersection, maybe turn.
+			s.Pos = s.Pos.Add(st.heading.Scale(st.toNext))
+			travel -= st.toNext
+			st.heading = m.chooseHeading(s.Pos, st.heading)
+			st.toNext = m.distToNextIntersection(s.Pos, st.heading)
+		}
+		// Guard against float drift accumulating past the border.
+		s.Pos = m.cfg.World.Clamp(s.Pos)
+		s.Vel = st.heading.Scale(st.speed)
+	}
+}
+
+func (m *Manhattan) chooseHeading(p geo.Point, h geo.Vector) geo.Vector {
+	if m.rng.Float64() < m.TurnProb {
+		// Turn left or right: swap axes.
+		if h.X != 0 {
+			if m.rng.Intn(2) == 0 {
+				h = geo.Vec(0, 1)
+			} else {
+				h = geo.Vec(0, -1)
+			}
+		} else {
+			if m.rng.Intn(2) == 0 {
+				h = geo.Vec(1, 0)
+			} else {
+				h = geo.Vec(-1, 0)
+			}
+		}
+	}
+	// Border handling: if continuing would exit the world, u-turn.
+	next := p.Add(h.Scale(m.Block))
+	if !m.cfg.World.Contains(next) {
+		h = h.Scale(-1)
+	}
+	return h
+}

@@ -1,0 +1,327 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+func cfg(seed int64, vmin, vmax float64) Config {
+	return Config{
+		World:    geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)),
+		MinSpeed: vmin,
+		MaxSpeed: vmax,
+		Seed:     seed,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{World: geo.NewRect(geo.Pt(0, 0), geo.Pt(0, 10)), MaxSpeed: 1},
+		{World: geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), MinSpeed: -1, MaxSpeed: 1},
+		{World: geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), MinSpeed: 5, MaxSpeed: 1},
+	}
+	for i, c := range bad {
+		if _, err := NewRandomWaypoint(c, 0); err == nil {
+			t.Errorf("case %d: NewRandomWaypoint accepted bad config", i)
+		}
+		if _, err := NewRandomDirection(c, 10); err == nil {
+			t.Errorf("case %d: NewRandomDirection accepted bad config", i)
+		}
+		if _, err := NewManhattan(c, 100, 0.5); err == nil {
+			t.Errorf("case %d: NewManhattan accepted bad config", i)
+		}
+	}
+	if _, err := NewRandomWaypoint(cfg(1, 1, 2), -1); err == nil {
+		t.Error("negative pause accepted")
+	}
+	if _, err := NewRandomDirection(cfg(1, 1, 2), 0); err == nil {
+		t.Error("zero mean leg accepted")
+	}
+	if _, err := NewManhattan(cfg(1, 1, 2), 0, 0.5); err == nil {
+		t.Error("zero block accepted")
+	}
+	if _, err := NewManhattan(cfg(1, 1, 2), 100, 1.5); err == nil {
+		t.Error("turn probability > 1 accepted")
+	}
+}
+
+// checkModel runs generic invariants shared by all models: objects stay in
+// the world, ids are 1..n, speeds respect the configured bound, and the
+// trajectory is deterministic for a fixed seed.
+func checkModel(t *testing.T, mk func(seed int64) Model, vmax float64) {
+	t.Helper()
+	m := mk(42)
+	const n = 200
+	states := m.Init(n)
+	if len(states) != n {
+		t.Fatalf("Init returned %d states", len(states))
+	}
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	for i, s := range states {
+		if s.ID != model.ObjectID(i+1) {
+			t.Fatalf("state %d has id %d", i, s.ID)
+		}
+		if !world.Contains(s.Pos) {
+			t.Fatalf("initial position %v outside world", s.Pos)
+		}
+	}
+	const dt = 1.0
+	for step := 0; step < 300; step++ {
+		prev := make([]geo.Point, n)
+		for i := range states {
+			prev[i] = states[i].Pos
+		}
+		m.Step(states, dt)
+		for i := range states {
+			if !world.Contains(states[i].Pos) {
+				t.Fatalf("step %d: object %d at %v escaped world (%s)",
+					step, states[i].ID, states[i].Pos, m.Name())
+			}
+			moved := prev[i].Dist(states[i].Pos)
+			if moved > vmax*dt+1e-6 {
+				t.Fatalf("step %d: object %d moved %v > vmax*dt=%v (%s)",
+					step, states[i].ID, moved, vmax*dt, m.Name())
+			}
+			if sp := states[i].Vel.Len(); sp > vmax+1e-6 {
+				t.Fatalf("speed %v exceeds vmax %v (%s)", sp, vmax, m.Name())
+			}
+		}
+	}
+	// Determinism: same seed, same trajectory.
+	m2 := mk(42)
+	s2 := m2.Init(n)
+	for step := 0; step < 50; step++ {
+		m2.Step(s2, dt)
+	}
+	m3 := mk(42)
+	s3 := m3.Init(n)
+	for step := 0; step < 50; step++ {
+		m3.Step(s3, dt)
+	}
+	for i := range s2 {
+		if s2[i].Pos != s3[i].Pos {
+			t.Fatalf("non-deterministic trajectory at object %d: %v vs %v (%s)",
+				i, s2[i].Pos, s3[i].Pos, m2.Name())
+		}
+	}
+	// Different seeds should diverge (overwhelmingly likely).
+	m4 := mk(43)
+	s4 := m4.Init(n)
+	same := 0
+	for i := range s4 {
+		if s4[i].Pos == s3[i].Pos {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("different seeds produced identical placements (%s)", m4.Name())
+	}
+}
+
+func TestRandomWaypointInvariants(t *testing.T) {
+	checkModel(t, func(seed int64) Model {
+		m, err := NewRandomWaypoint(cfg(seed, 5, 20), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, 20)
+}
+
+func TestRandomWaypointWithPause(t *testing.T) {
+	checkModel(t, func(seed int64) Model {
+		m, err := NewRandomWaypoint(cfg(seed, 5, 20), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, 20)
+}
+
+func TestRandomDirectionInvariants(t *testing.T) {
+	checkModel(t, func(seed int64) Model {
+		m, err := NewRandomDirection(cfg(seed, 5, 20), 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, 20)
+}
+
+func TestManhattanInvariants(t *testing.T) {
+	checkModel(t, func(seed int64) Model {
+		m, err := NewManhattan(cfg(seed, 5, 20), 100, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, 20)
+}
+
+func TestRandomWaypointReachesDestinations(t *testing.T) {
+	m, err := NewRandomWaypoint(cfg(7, 10, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := m.Init(1)
+	// Track that the object changes direction at least once over a long
+	// horizon (i.e., it reaches waypoints and retargets).
+	initial := states[0].Vel
+	changed := false
+	for step := 0; step < 2000; step++ {
+		m.Step(states, 1)
+		if states[0].Vel != initial && states[0].Vel.Len() > 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("object never retargeted over 2000 steps")
+	}
+}
+
+func TestManhattanStaysOnRoads(t *testing.T) {
+	m, err := NewManhattan(cfg(3, 10, 10), 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := m.Init(100)
+	onRoad := func(p geo.Point) bool {
+		offX := math.Mod(p.X, 100)
+		offY := math.Mod(p.Y, 100)
+		const eps = 1e-6
+		return offX < eps || 100-offX < eps || offY < eps || 100-offY < eps
+	}
+	for i, s := range states {
+		if !onRoad(s.Pos) {
+			t.Fatalf("initial position %v of object %d is off-road", s.Pos, i)
+		}
+	}
+	for step := 0; step < 500; step++ {
+		m.Step(states, 1)
+		for i, s := range states {
+			if !onRoad(s.Pos) {
+				t.Fatalf("step %d: object %d at %v is off-road", step, i, s.Pos)
+			}
+		}
+	}
+}
+
+func TestZeroSpeedRange(t *testing.T) {
+	// vmin == vmax == 0: objects never move, but models must not hang.
+	m, err := NewRandomDirection(cfg(1, 0, 0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := m.Init(10)
+	before := make([]geo.Point, len(states))
+	for i := range states {
+		before[i] = states[i].Pos
+	}
+	for step := 0; step < 10; step++ {
+		m.Step(states, 1)
+	}
+	for i := range states {
+		if states[i].Pos != before[i] {
+			t.Fatalf("zero-speed object %d moved", i)
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	w, _ := NewRandomWaypoint(cfg(1, 1, 2), 0)
+	d, _ := NewRandomDirection(cfg(1, 1, 2), 10)
+	mh, _ := NewManhattan(cfg(1, 1, 2), 100, 0.5)
+	for _, m := range []Model{w, d, mh} {
+		if m.Name() == "" {
+			t.Error("empty model name")
+		}
+	}
+}
+
+func TestHotspotInvariants(t *testing.T) {
+	checkModel(t, func(seed int64) Model {
+		m, err := NewHotspot(cfg(seed, 5, 20), 4, 50, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, 20)
+}
+
+func TestHotspotValidation(t *testing.T) {
+	good := cfg(1, 1, 2)
+	if _, err := NewHotspot(good, 0, 50, 0.2); err == nil {
+		t.Error("zero hotspots accepted")
+	}
+	if _, err := NewHotspot(good, 3, 0, 0.2); err == nil {
+		t.Error("zero spread accepted")
+	}
+	if _, err := NewHotspot(good, 3, 50, 1.5); err == nil {
+		t.Error("background > 1 accepted")
+	}
+	if _, err := NewHotspot(cfg(1, 5, 1), 3, 50, 0.2); err == nil {
+		t.Error("bad speed range accepted")
+	}
+}
+
+// The point of the model: the population must actually be skewed — the
+// densest tenth of the world should hold far more than a tenth of the
+// objects.
+func TestHotspotIsActuallySkewed(t *testing.T) {
+	m, err := NewHotspot(cfg(9, 5, 20), 3, 40, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	states := m.Init(n)
+	for i := 0; i < 200; i++ {
+		m.Step(states, 1)
+	}
+	// Count objects per 10x10 bucket and take the top decile of buckets.
+	counts := map[[2]int]int{}
+	for _, s := range states {
+		counts[[2]int{int(s.Pos.X / 100), int(s.Pos.Y / 100)}]++
+	}
+	all := make([]int, 0, 100)
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := 0
+	for i := 0; i < len(all) && i < 10; i++ {
+		top += all[i]
+	}
+	if frac := float64(top) / n; frac < 0.4 {
+		t.Errorf("top-decile buckets hold only %.0f%% of objects — not skewed", frac*100)
+	}
+	// Uniform waypoint for contrast must be well below that.
+	u, err := NewRandomWaypoint(cfg(9, 5, 20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := u.Init(n)
+	for i := 0; i < 200; i++ {
+		u.Step(us, 1)
+	}
+	counts = map[[2]int]int{}
+	for _, s := range us {
+		counts[[2]int{int(s.Pos.X / 100), int(s.Pos.Y / 100)}]++
+	}
+	all = all[:0]
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	utop := 0
+	for i := 0; i < len(all) && i < 10; i++ {
+		utop += all[i]
+	}
+	if float64(utop)/n > float64(top)/n {
+		t.Error("uniform population more skewed than hotspot population")
+	}
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"testing"
+
+	"dmknn/internal/geo"
+)
+
+func TestAnswerHelpers(t *testing.T) {
+	a := Answer{Query: 1, At: 5, Neighbors: []Neighbor{
+		{ID: 3, Dist: 1}, {ID: 7, Dist: 2}, {ID: 2, Dist: 4},
+	}}
+	if got := a.IDs(); len(got) != 3 || got[0] != 3 || got[2] != 2 {
+		t.Errorf("IDs = %v", got)
+	}
+	set := a.IDSet()
+	if !set[3] || !set[7] || !set[2] || set[1] {
+		t.Errorf("IDSet = %v", set)
+	}
+	if a.KthDist() != 4 {
+		t.Errorf("KthDist = %v", a.KthDist())
+	}
+	var empty Answer
+	if empty.KthDist() != 0 {
+		t.Error("empty KthDist should be 0")
+	}
+	if len(empty.IDs()) != 0 || len(empty.IDSet()) != 0 {
+		t.Error("empty answer helpers")
+	}
+}
+
+func TestSortNeighbors(t *testing.T) {
+	ns := []Neighbor{{ID: 5, Dist: 2}, {ID: 1, Dist: 2}, {ID: 9, Dist: 1}}
+	SortNeighbors(ns)
+	if ns[0].ID != 9 || ns[1].ID != 1 || ns[2].ID != 5 {
+		t.Errorf("sorted = %v (want distance order, ties by id)", ns)
+	}
+}
+
+func TestSameMembers(t *testing.T) {
+	a := Answer{Neighbors: []Neighbor{{ID: 1, Dist: 1}, {ID: 2, Dist: 2}}}
+	b := Answer{Neighbors: []Neighbor{{ID: 2, Dist: 9}, {ID: 1, Dist: 8}}}
+	c := Answer{Neighbors: []Neighbor{{ID: 1, Dist: 1}, {ID: 3, Dist: 2}}}
+	d := Answer{Neighbors: []Neighbor{{ID: 1, Dist: 1}}}
+	if !SameMembers(a, b) {
+		t.Error("order and distances must not matter")
+	}
+	if SameMembers(a, c) {
+		t.Error("different members equal")
+	}
+	if SameMembers(a, d) {
+		t.Error("different sizes equal")
+	}
+	if !SameMembers(Answer{}, Answer{}) {
+		t.Error("empty answers should match")
+	}
+}
+
+func TestQuerySpecValidate(t *testing.T) {
+	ok := QuerySpec{ID: 1, K: 5, Pos: geo.Pt(1, 2)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := QuerySpec{ID: 1, K: 0}
+	if bad.Validate() == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNeighborString(t *testing.T) {
+	if (Neighbor{ID: 3, Dist: 1.5}).String() == "" {
+		t.Error("empty neighbor string")
+	}
+}

@@ -1,0 +1,31 @@
+package nettcp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+type goneRec struct {
+	collector
+	gone atomic.Int64
+}
+
+func (g *goneRec) HandleClientGone(id model.ObjectID) { g.gone.Store(int64(id)) }
+
+func TestDisconnectNotification(t *testing.T) {
+	s := startServer(t)
+	rec := &goneRec{}
+	s.AttachHandler(rec)
+	cl, err := Dial(s.Addr().String(), 77, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "connect", func() bool { return s.ClientCount() == 1 })
+	cl.Uplink(protocol.QueryDeregister{Query: 1})
+	waitFor(t, "uplink", func() bool { return rec.count() == 1 })
+	cl.Close()
+	waitFor(t, "gone", func() bool { return rec.gone.Load() == 77 })
+}

@@ -1,0 +1,391 @@
+// Package nettcp carries the protocol over real TCP connections, turning
+// the library into a deployable system: the same Server/ObjectAgent/
+// QueryAgent state machines from internal/core run unchanged on both the
+// metered simulation network and this transport.
+//
+// Wire format, per connection:
+//
+//	handshake (client → server, once):
+//	    4 bytes magic "DKNN" | 1 byte version | 4 bytes client id (LE)
+//	then, both directions, length-prefixed frames:
+//	    4 bytes payload length (LE) | payload = protocol.Encode(msg)
+//
+// Broadcast semantics: a wireless cell broadcast has no TCP equivalent,
+// so the server fans the frame out to every connected client and lets
+// the client-side state machines filter by the region carried in the
+// message (probes and installs carry their regions; agents outside
+// simply ignore them). Accounting still records one transmission per
+// intersecting grid cell, exactly like the simulated medium, so traffic
+// metrics are comparable.
+package nettcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+var (
+	magic = [4]byte{'D', 'K', 'N', 'N'}
+	// version of the wire protocol.
+	version byte = 1
+)
+
+// maxFrame bounds a frame payload; anything larger is a protocol error.
+const maxFrame = 1 << 20
+
+// ErrBadHandshake reports a connection that did not start with the
+// expected magic/version.
+var ErrBadHandshake = errors.New("nettcp: bad handshake")
+
+func writeFrame(w io.Writer, m protocol.Message) error {
+	payload := protocol.Encode(nil, m)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (protocol.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("nettcp: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return protocol.Decode(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// Server accepts client connections and bridges them to a
+// transport.ServerHandler. Its Side() implements transport.ServerSide for
+// the query-processing logic.
+type Server struct {
+	ln   net.Listener
+	geom grid.Geometry
+
+	mu      sync.Mutex
+	conns   map[model.ObjectID]*serverConn
+	handler transport.ServerHandler
+	metered metrics.Counters
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type serverConn struct {
+	id model.ObjectID
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes
+}
+
+// Listen starts a server on addr ("host:port"; ":0" picks a free port).
+// geom defines the broadcast cell layout used for traffic accounting.
+func Listen(addr string, geom grid.Geometry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nettcp: listen: %w", err)
+	}
+	return &Server{
+		ln:    ln,
+		geom:  geom,
+		conns: make(map[model.ObjectID]*serverConn),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AttachHandler installs the uplink consumer. It must be set before
+// Serve.
+func (s *Server) AttachHandler(h transport.ServerHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// Counters returns a snapshot of the traffic counters.
+func (s *Server) Counters() metrics.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metered.Snapshot()
+}
+
+// ClientCount returns the number of connected clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Serve accepts connections until Close. It returns nil after Close,
+// other listener errors otherwise.
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Close stops accepting, closes every client connection, and waits for
+// the per-connection readers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for _, sc := range s.conns {
+		sc.c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	id, err := s.handshake(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	sc := &serverConn{id: id, c: c}
+	s.mu.Lock()
+	if old, ok := s.conns[id]; ok {
+		old.c.Close() // a reconnect replaces the previous session
+	}
+	s.conns[id] = sc
+	s.mu.Unlock()
+
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		gone := false
+		if s.conns[id] == sc {
+			delete(s.conns, id)
+			gone = true
+		}
+		h := s.handler
+		s.mu.Unlock()
+		// Notify only when the client has no live session left (a
+		// reconnect replaces the old conn without a gone event).
+		if gone {
+			if dh, ok := h.(transport.DisconnectHandler); ok {
+				dh.HandleClientGone(id)
+			}
+		}
+	}()
+
+	for {
+		msg, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handler
+		s.metered.RecordSend(metrics.Uplink, msg.Kind(), protocol.EncodedSize(msg))
+		s.metered.RecordDeliver(metrics.Uplink)
+		s.mu.Unlock()
+		if h != nil {
+			h.HandleUplink(id, msg)
+		}
+	}
+}
+
+func (s *Server) handshake(c net.Conn) (model.ObjectID, error) {
+	var buf [9]byte
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(buf[:4]) != magic || buf[4] != version {
+		return 0, ErrBadHandshake
+	}
+	return model.ObjectID(binary.LittleEndian.Uint32(buf[5:9])), nil
+}
+
+// Side returns the sending surface for the query-processing logic.
+func (s *Server) Side() transport.ServerSide { return tcpServerSide{s} }
+
+type tcpServerSide struct{ s *Server }
+
+// Downlink implements transport.ServerSide.
+func (t tcpServerSide) Downlink(to model.ObjectID, m protocol.Message) {
+	s := t.s
+	s.mu.Lock()
+	sc, ok := s.conns[to]
+	s.metered.RecordSend(metrics.Downlink, m.Kind(), protocol.EncodedSize(m))
+	if !ok {
+		s.metered.RecordDrop(metrics.Downlink)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	if err := t.write(sc, m); err != nil {
+		s.mu.Lock()
+		s.metered.RecordDrop(metrics.Downlink)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.metered.RecordDeliver(metrics.Downlink)
+	s.mu.Unlock()
+}
+
+// Broadcast implements transport.ServerSide: fan out to every client,
+// accounting one transmission per intersecting cell (the wireless cost
+// model shared with the simulation).
+func (t tcpServerSide) Broadcast(region geo.Circle, m protocol.Message) {
+	s := t.s
+	cells := len(s.geom.CellsIntersecting(region))
+	if cells == 0 {
+		return
+	}
+	s.mu.Lock()
+	size := protocol.EncodedSize(m)
+	for i := 0; i < cells; i++ {
+		s.metered.RecordSend(metrics.Broadcast, m.Kind(), size)
+	}
+	targets := make([]*serverConn, 0, len(s.conns))
+	for _, sc := range s.conns {
+		targets = append(targets, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range targets {
+		if err := t.write(sc, m); err != nil {
+			s.mu.Lock()
+			s.metered.RecordDrop(metrics.Broadcast)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.metered.RecordDeliver(metrics.Broadcast)
+		s.mu.Unlock()
+	}
+}
+
+func (t tcpServerSide) write(sc *serverConn, m protocol.Message) error {
+	sc.wm.Lock()
+	defer sc.wm.Unlock()
+	return writeFrame(sc.c, m)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client is one mobile endpoint's connection to the server. Its Uplink
+// method implements transport.ClientSide; received frames are dispatched
+// to the handler from a dedicated goroutine.
+type Client struct {
+	id model.ObjectID
+	c  net.Conn
+	wm sync.Mutex
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+	done   chan struct{}
+}
+
+// Dial connects to the server at addr, performs the handshake, and
+// starts dispatching received messages to h.
+func Dial(addr string, id model.ObjectID, h transport.ClientHandler) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nettcp: dial: %w", err)
+	}
+	var buf [9]byte
+	copy(buf[:4], magic[:])
+	buf[4] = version
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(id))
+	if _, err := c.Write(buf[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("nettcp: handshake: %w", err)
+	}
+	cl := &Client{id: id, c: c, done: make(chan struct{})}
+	go cl.readLoop(h)
+	return cl, nil
+}
+
+func (cl *Client) readLoop(h transport.ClientHandler) {
+	defer close(cl.done)
+	for {
+		msg, err := readFrame(cl.c)
+		if err != nil {
+			cl.mu.Lock()
+			if !cl.closed {
+				cl.err = err
+			}
+			cl.mu.Unlock()
+			return
+		}
+		if h != nil {
+			h.HandleServerMessage(msg)
+		}
+	}
+}
+
+// Uplink implements transport.ClientSide. Write errors latch into Err and
+// close the connection; the protocol state machines tolerate loss, so the
+// send surface stays error-free.
+func (cl *Client) Uplink(m protocol.Message) {
+	cl.wm.Lock()
+	err := writeFrame(cl.c, m)
+	cl.wm.Unlock()
+	if err != nil {
+		cl.mu.Lock()
+		if !cl.closed && cl.err == nil {
+			cl.err = err
+		}
+		cl.mu.Unlock()
+		cl.c.Close()
+	}
+}
+
+// Err returns the first transport error observed, if any.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// Close shuts the connection down and waits for the read loop to exit.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	cl.mu.Unlock()
+	err := cl.c.Close()
+	<-cl.done
+	return err
+}
+
+var _ transport.ClientSide = (*Client)(nil)

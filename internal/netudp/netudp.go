@@ -1,0 +1,325 @@
+// Package netudp carries the protocol over UDP datagrams — the transport
+// that most closely matches the paper's wireless medium: connectionless,
+// unordered, and lossy. The DKNN state machines tolerate all three by
+// design (epochs, membership affirmations, horizon refreshes, probe
+// fallbacks), so nothing above the transport changes.
+//
+// Wire format, one message per datagram:
+//
+//	4 bytes client id (LE) | payload = protocol.Encode(msg)
+//
+// The client id prefix identifies the sender on uplinks and is echoed on
+// downlinks (clients ignore it). The server learns each client's UDP
+// address from its most recent datagram and expires silent clients after
+// a liveness window, which doubles as the medium's disconnect signal.
+package netudp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// maxDatagram bounds a datagram payload.
+const maxDatagram = 64 << 10
+
+// Server is the UDP endpoint the clients talk to.
+type Server struct {
+	conn *net.UDPConn
+	geom grid.Geometry
+	// liveness is how long a client stays addressable after its last
+	// datagram.
+	liveness time.Duration
+
+	mu      sync.Mutex
+	clients map[model.ObjectID]clientAddr
+	handler transport.ServerHandler
+	metered metrics.Counters
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type clientAddr struct {
+	addr *net.UDPAddr
+	seen time.Time
+}
+
+// Listen binds a UDP server. liveness is the silent-client expiry window
+// (0 defaults to one minute).
+func Listen(addr string, geom grid.Geometry, liveness time.Duration) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netudp: resolve: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netudp: listen: %w", err)
+	}
+	if liveness == 0 {
+		liveness = time.Minute
+	}
+	return &Server{
+		conn:     conn,
+		geom:     geom,
+		liveness: liveness,
+		clients:  make(map[model.ObjectID]clientAddr),
+	}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// AttachHandler installs the uplink consumer.
+func (s *Server) AttachHandler(h transport.ServerHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// Counters returns a snapshot of the traffic counters.
+func (s *Server) Counters() metrics.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metered.Snapshot()
+}
+
+// ClientCount returns the number of live (non-expired) client addresses.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	now := time.Now()
+	for _, c := range s.clients {
+		if now.Sub(c.seen) <= s.liveness {
+			n++
+		}
+	}
+	return n
+}
+
+// Serve reads datagrams until Close. It returns nil after Close.
+func (s *Server) Serve() error {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if n < 5 {
+			continue // runt datagram
+		}
+		id := model.ObjectID(binary.LittleEndian.Uint32(buf[:4]))
+		msg, err := protocol.Decode(buf[4:n])
+		if err != nil {
+			continue // garbled datagram: the medium is allowed to mangle
+		}
+		s.mu.Lock()
+		s.clients[id] = clientAddr{addr: from, seen: time.Now()}
+		h := s.handler
+		s.metered.RecordSend(metrics.Uplink, msg.Kind(), n)
+		s.metered.RecordDeliver(metrics.Uplink)
+		s.mu.Unlock()
+		if h != nil {
+			h.HandleUplink(id, msg)
+		}
+	}
+}
+
+// ExpireSilent drops clients that have not transmitted within the
+// liveness window, notifying a DisconnectHandler if the attached handler
+// implements one. Deployments call it periodically.
+func (s *Server) ExpireSilent() int {
+	s.mu.Lock()
+	now := time.Now()
+	var gone []model.ObjectID
+	for id, c := range s.clients {
+		if now.Sub(c.seen) > s.liveness {
+			gone = append(gone, id)
+			delete(s.clients, id)
+		}
+	}
+	h := s.handler
+	s.mu.Unlock()
+	if dh, ok := h.(transport.DisconnectHandler); ok {
+		for _, id := range gone {
+			dh.HandleClientGone(id)
+		}
+	}
+	return len(gone)
+}
+
+// Close shuts the socket down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Side returns the sending surface for the query-processing logic.
+func (s *Server) Side() transport.ServerSide { return udpServerSide{s} }
+
+type udpServerSide struct{ s *Server }
+
+func (u udpServerSide) send(to model.ObjectID, addr *net.UDPAddr, m protocol.Message) error {
+	payload := make([]byte, 4, 4+protocol.EncodedSize(m))
+	binary.LittleEndian.PutUint32(payload[:4], uint32(to))
+	payload = protocol.Encode(payload, m)
+	_, err := u.s.conn.WriteToUDP(payload, addr)
+	return err
+}
+
+// Downlink implements transport.ServerSide.
+func (u udpServerSide) Downlink(to model.ObjectID, m protocol.Message) {
+	s := u.s
+	s.mu.Lock()
+	c, ok := s.clients[to]
+	live := ok && time.Since(c.seen) <= s.liveness
+	s.metered.RecordSend(metrics.Downlink, m.Kind(), protocol.EncodedSize(m))
+	s.mu.Unlock()
+	if !live {
+		s.mu.Lock()
+		s.metered.RecordDrop(metrics.Downlink)
+		s.mu.Unlock()
+		return
+	}
+	if err := u.send(to, c.addr, m); err != nil {
+		s.mu.Lock()
+		s.metered.RecordDrop(metrics.Downlink)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.metered.RecordDeliver(metrics.Downlink)
+	s.mu.Unlock()
+}
+
+// Broadcast implements transport.ServerSide: fan out to every live
+// client, accounting one transmission per intersecting cell (the shared
+// wireless cost model).
+func (u udpServerSide) Broadcast(region geo.Circle, m protocol.Message) {
+	s := u.s
+	cells := len(s.geom.CellsIntersecting(region))
+	if cells == 0 {
+		return
+	}
+	s.mu.Lock()
+	size := protocol.EncodedSize(m)
+	for i := 0; i < cells; i++ {
+		s.metered.RecordSend(metrics.Broadcast, m.Kind(), size)
+	}
+	now := time.Now()
+	type target struct {
+		id   model.ObjectID
+		addr *net.UDPAddr
+	}
+	targets := make([]target, 0, len(s.clients))
+	for id, c := range s.clients {
+		if now.Sub(c.seen) <= s.liveness {
+			targets = append(targets, target{id, c.addr})
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range targets {
+		if err := u.send(t.id, t.addr, m); err != nil {
+			s.mu.Lock()
+			s.metered.RecordDrop(metrics.Broadcast)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.metered.RecordDeliver(metrics.Broadcast)
+		s.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client is one mobile endpoint's UDP socket.
+type Client struct {
+	id   model.ObjectID
+	conn *net.UDPConn
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial opens a client socket toward the server and starts dispatching
+// received datagrams to h. UDP is connectionless: "dialing" only fixes
+// the peer address; the server learns of this client when it first
+// transmits.
+func Dial(addr string, id model.ObjectID, h transport.ClientHandler) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netudp: resolve: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("netudp: dial: %w", err)
+	}
+	cl := &Client{id: id, conn: conn, done: make(chan struct{})}
+	go cl.readLoop(h)
+	return cl, nil
+}
+
+func (cl *Client) readLoop(h transport.ClientHandler) {
+	defer close(cl.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, err := cl.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		if n < 5 {
+			continue
+		}
+		msg, err := protocol.Decode(buf[4:n])
+		if err != nil {
+			continue
+		}
+		if h != nil {
+			h.HandleServerMessage(msg)
+		}
+	}
+}
+
+// Uplink implements transport.ClientSide. Datagram sends are
+// fire-and-forget; errors are ignored (the protocol tolerates loss).
+func (cl *Client) Uplink(m protocol.Message) {
+	payload := make([]byte, 4, 4+protocol.EncodedSize(m))
+	binary.LittleEndian.PutUint32(payload[:4], uint32(cl.id))
+	payload = protocol.Encode(payload, m)
+	_, _ = cl.conn.Write(payload)
+}
+
+// Close shuts the socket down and waits for the read loop to exit.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	cl.mu.Unlock()
+	err := cl.conn.Close()
+	<-cl.done
+	return err
+}
+
+var _ transport.ClientSide = (*Client)(nil)

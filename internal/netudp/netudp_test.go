@@ -1,0 +1,274 @@
+package netudp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+func testGeom() grid.Geometry {
+	return grid.NewGeometry(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 10, 10)
+}
+
+func startServer(t *testing.T, liveness time.Duration) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", testGeom(), liveness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := s.Serve(); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+type collector struct {
+	mu    sync.Mutex
+	msgs  []protocol.Message
+	froms []model.ObjectID
+}
+
+func (c *collector) HandleUplink(from model.ObjectID, m protocol.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+	c.froms = append(c.froms, from)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestUplinkAndAddressLearning(t *testing.T) {
+	s := startServer(t, time.Minute)
+	col := &collector{}
+	s.AttachHandler(col)
+	cl, err := Dial(s.Addr().String(), 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	msg := protocol.LocationReport{Object: 9, Pos: geo.Pt(1, 2), At: 3}
+	cl.Uplink(msg)
+	waitFor(t, "uplink", func() bool { return col.count() == 1 })
+	col.mu.Lock()
+	if col.froms[0] != 9 {
+		t.Errorf("from = %d", col.froms[0])
+	}
+	if got := col.msgs[0].(protocol.LocationReport); got != msg {
+		t.Errorf("got %#v", got)
+	}
+	col.mu.Unlock()
+	if s.ClientCount() != 1 {
+		t.Errorf("ClientCount = %d", s.ClientCount())
+	}
+	c := s.Counters()
+	if c.Sent(metrics.Uplink) != 1 {
+		t.Error("uplink not metered")
+	}
+}
+
+type clientCollector struct {
+	n atomic.Int64
+}
+
+func (c *clientCollector) HandleServerMessage(protocol.Message) { c.n.Add(1) }
+
+func TestDownlinkAndBroadcast(t *testing.T) {
+	s := startServer(t, time.Minute)
+	s.AttachHandler(&collector{})
+	c1, c2 := &clientCollector{}, &clientCollector{}
+	cl1, err := Dial(s.Addr().String(), 1, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl1.Close()
+	cl2, err := Dial(s.Addr().String(), 2, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	// The server can only address clients it has heard from.
+	cl1.Uplink(protocol.QueryDeregister{Query: 1})
+	cl2.Uplink(protocol.QueryDeregister{Query: 1})
+	waitFor(t, "both known", func() bool { return s.ClientCount() == 2 })
+
+	s.Side().Downlink(1, protocol.AnswerUpdate{Query: 5, At: 1})
+	waitFor(t, "downlink", func() bool { return c1.n.Load() == 1 })
+	if c2.n.Load() != 0 {
+		t.Error("downlink leaked")
+	}
+	s.Side().Broadcast(geo.Circle{Center: geo.Pt(500, 500), R: 100}, protocol.MonitorCancel{Query: 5, Epoch: 1})
+	waitFor(t, "broadcast", func() bool { return c1.n.Load() == 2 && c2.n.Load() == 1 })
+
+	// Downlink to an unknown client is dropped.
+	s.Side().Downlink(99, protocol.AnswerUpdate{Query: 5})
+	c := s.Counters()
+	if c.Dropped(metrics.Downlink) != 1 {
+		t.Error("unknown-client downlink not dropped")
+	}
+}
+
+func TestExpireSilentNotifiesDisconnect(t *testing.T) {
+	s := startServer(t, 50*time.Millisecond)
+	var gone atomic.Int64
+	s.AttachHandler(&goneHandler{gone: &gone})
+	cl, err := Dial(s.Addr().String(), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Uplink(protocol.QueryDeregister{Query: 1})
+	waitFor(t, "known", func() bool { return s.ClientCount() == 1 })
+	time.Sleep(80 * time.Millisecond)
+	if s.ClientCount() != 0 {
+		t.Error("silent client still counted live")
+	}
+	if n := s.ExpireSilent(); n != 1 {
+		t.Fatalf("ExpireSilent = %d", n)
+	}
+	if gone.Load() != 7 {
+		t.Fatalf("disconnect handler saw %d", gone.Load())
+	}
+	// Idempotent.
+	if n := s.ExpireSilent(); n != 0 {
+		t.Fatalf("second ExpireSilent = %d", n)
+	}
+}
+
+type goneHandler struct {
+	collector
+	gone *atomic.Int64
+}
+
+func (g *goneHandler) HandleClientGone(id model.ObjectID) { g.gone.Store(int64(id)) }
+
+func TestGarbledDatagramsIgnored(t *testing.T) {
+	s := startServer(t, time.Minute)
+	col := &collector{}
+	s.AttachHandler(col)
+	cl, err := Dial(s.Addr().String(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Runts and garbage through the same socket.
+	cl.conn.Write([]byte{1})
+	cl.conn.Write([]byte{1, 2, 3, 4, 0xFF, 0xFF})
+	cl.Uplink(protocol.QueryDeregister{Query: 1})
+	waitFor(t, "valid message", func() bool { return col.count() == 1 })
+	if col.count() != 1 {
+		t.Errorf("garbled datagrams delivered: %d", col.count())
+	}
+}
+
+// The full DKNN protocol over real UDP: a stationary query over two
+// objects, with agents ticking on a controllable clock.
+func TestDKNNOverUDP(t *testing.T) {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	s := startServer(t, time.Minute)
+
+	var tick atomic.Int64
+	now := func() model.Tick { return model.Tick(tick.Load()) }
+	cfg := core.Config{HorizonTicks: 8, MinProbeRadius: 100, AnswerSlack: 1}.WithWorldDefault(world)
+	srv, err := core.NewServer(cfg, core.ServerDeps{
+		Side: s.Side(), Now: now, DT: 1,
+		MaxObjectSpeed: 10, MaxQuerySpeed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachHandler(srv)
+
+	positions := map[model.ObjectID]geo.Point{1: geo.Pt(500, 510), 2: geo.Pt(500, 530)}
+	agents := map[model.ObjectID]*core.ObjectAgent{}
+	for id, p := range positions {
+		p := p
+		var agent *core.ObjectAgent
+		cl, err := Dial(s.Addr().String(), id, transport.ClientHandlerFunc(func(m protocol.Message) {
+			agent.HandleServerMessage(m)
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		agent, err = core.NewObjectAgent(cfg, core.AgentDeps{
+			ID: id, Side: cl, Now: now,
+			Pos: func() geo.Point { return p }, DT: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[id] = agent
+		// Announce so the server learns the address before any probe.
+		cl.Uplink(protocol.LocationReport{Object: id, Pos: p, At: 0})
+	}
+	var qa *core.QueryAgent
+	qcl, err := Dial(s.Addr().String(), 100, transport.ClientHandlerFunc(func(m protocol.Message) {
+		qa.HandleServerMessage(m)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qcl.Close()
+	qa, err = core.NewQueryAgent(cfg, model.QuerySpec{ID: 1, K: 2, Pos: geo.Pt(500, 500)},
+		core.QueryAgentDeps{
+			AgentDeps: core.AgentDeps{
+				ID: 100, Side: qcl, Now: now,
+				Pos: func() geo.Point { return geo.Pt(500, 500) }, DT: 1,
+			},
+			Vel: func() geo.Vector { return geo.Vec(0, 0) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "addresses learned", func() bool { return s.ClientCount() == 2 })
+
+	settle := func() { time.Sleep(30 * time.Millisecond) }
+	for i := 0; i < 6; i++ {
+		tick.Add(1)
+		qa.Tick(now())
+		for _, a := range agents {
+			a.Tick(now())
+		}
+		settle()
+		srv.Tick(now())
+		settle()
+		for j := 0; j < 4 && srv.Finalize(now()); j++ {
+			settle()
+		}
+		if a := qa.Answer(); len(a.Neighbors) == 2 {
+			if a.Neighbors[0].ID != 1 || a.Neighbors[1].ID != 2 {
+				t.Fatalf("answer = %v", a.Neighbors)
+			}
+			return
+		}
+	}
+	t.Fatalf("no complete answer over UDP; server view %v", srv.Answer(1))
+}

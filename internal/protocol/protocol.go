@@ -1,0 +1,653 @@
+// Package protocol defines the message taxonomy exchanged between the
+// server and the moving clients, together with a compact binary codec.
+//
+// The same message set serves both the metered in-memory network used by
+// the experiments (internal/simnet) and the real TCP transport
+// (internal/nettcp): experiments count and size exactly the messages a
+// deployment would send.
+//
+// Directions:
+//
+//   - uplink: client → server unicast (the scarce wireless resource all
+//     methods are compared on);
+//   - downlink: server → one client unicast;
+//   - broadcast: server → all clients inside a set of grid cells
+//     (cell-granular wireless broadcast).
+//
+// Wire format: one kind byte followed by fixed-layout little-endian
+// fields; AnswerUpdate carries a 16-bit count plus that many neighbor
+// records. Encode never fails; Decode validates length and kind.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. The zero value is invalid so that a zeroed buffer never
+// decodes successfully.
+const (
+	// KindLocationReport is a periodic or threshold-triggered position
+	// report from an object (centralized baselines). Uplink.
+	KindLocationReport Kind = iota + 1
+	// KindProbeRequest asks every object inside a circle to reply with its
+	// position (distributed bootstrap/fallback). Broadcast.
+	KindProbeRequest
+	// KindProbeReply answers a probe with the object's position. Uplink.
+	KindProbeReply
+	// KindMonitorInstall installs or refreshes a query monitor on all
+	// objects inside the monitoring region. Broadcast.
+	KindMonitorInstall
+	// KindMonitorCancel removes a query monitor. Broadcast.
+	KindMonitorCancel
+	// KindEnterReport tells the server an aware object moved inside the
+	// advertised answer radius. Uplink.
+	KindEnterReport
+	// KindExitReport tells the server an answer object moved outside the
+	// advertised answer radius. Uplink.
+	KindExitReport
+	// KindLeaveReport tells the server an aware object left the monitoring
+	// region and stopped monitoring. Uplink.
+	KindLeaveReport
+	// KindMoveReport refreshes the position of an object inside the
+	// advertised answer circle after it drifted more than the in-circle
+	// threshold from its last report. Uplink.
+	KindMoveReport
+	// KindQueryRegister registers a continuous kNN query. Uplink (from the
+	// query's focal client).
+	KindQueryRegister
+	// KindQueryMove reports that the query focal point deviated from its
+	// advertised track. Uplink.
+	KindQueryMove
+	// KindQueryDeregister removes a continuous query. Uplink.
+	KindQueryDeregister
+	// KindAnswerUpdate delivers a changed kNN answer to the query client.
+	// Downlink.
+	KindAnswerUpdate
+	// KindAnswerDelta delivers an incremental answer change (positive and
+	// negative updates) instead of the full answer. Downlink.
+	KindAnswerDelta
+
+	kindEnd // sentinel: all valid kinds are below this
+)
+
+var kindNames = map[Kind]string{
+	KindLocationReport:  "location-report",
+	KindProbeRequest:    "probe-request",
+	KindProbeReply:      "probe-reply",
+	KindMonitorInstall:  "monitor-install",
+	KindMonitorCancel:   "monitor-cancel",
+	KindEnterReport:     "enter-report",
+	KindExitReport:      "exit-report",
+	KindLeaveReport:     "leave-report",
+	KindMoveReport:      "move-report",
+	KindQueryRegister:   "query-register",
+	KindQueryMove:       "query-move",
+	KindQueryDeregister: "query-deregister",
+	KindAnswerUpdate:    "answer-update",
+	KindAnswerDelta:     "answer-delta",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Kinds returns every valid kind in ascending order, for metric tables.
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(kindEnd)-1)
+	for k := KindLocationReport; k < kindEnd; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Kind() Kind
+}
+
+// LocationReport carries one object position sample.
+type LocationReport struct {
+	Object model.ObjectID
+	Pos    geo.Point
+	Vel    geo.Vector
+	At     model.Tick
+}
+
+// Kind implements Message.
+func (LocationReport) Kind() Kind { return KindLocationReport }
+
+// ProbeRequest asks objects inside Region to reply with their positions.
+// Seq distinguishes probe rounds of the same query.
+type ProbeRequest struct {
+	Query  model.QueryID
+	Seq    uint32
+	Region geo.Circle
+	At     model.Tick
+}
+
+// Kind implements Message.
+func (ProbeRequest) Kind() Kind { return KindProbeRequest }
+
+// ProbeReply answers a ProbeRequest.
+type ProbeReply struct {
+	Query  model.QueryID
+	Seq    uint32
+	Object model.ObjectID
+	Pos    geo.Point
+	At     model.Tick
+}
+
+// Kind implements Message.
+func (ProbeReply) Kind() Kind { return KindProbeReply }
+
+// MonitorInstall advertises a query to all objects inside the monitoring
+// region. Epoch increases on every reinstall so stale state is discarded.
+//
+// Refresh distinguishes the two install flavors: after a full probe the
+// server rebuilt its candidate state from replies, so objects baseline
+// silently; on a refresh (no probe) each object must report any change of
+// its inside/outside side relative to its previous monitor state, which
+// keeps the server's membership knowledge exact without mass replies.
+//
+// RangeMode marks a fixed-radius range-monitoring query: membership
+// *is* the answer, so in-boundary objects skip MoveReports entirely
+// (their exact positions do not affect the result).
+type MonitorInstall struct {
+	Query        model.QueryID
+	Epoch        uint32
+	Refresh      bool
+	RangeMode    bool
+	QueryPos     geo.Point
+	QueryVel     geo.Vector
+	AnswerRadius float64 // advertised r_k (or the fixed range)
+	Radius       float64 // monitoring region radius R >= r_k
+	At           model.Tick
+}
+
+// Kind implements Message.
+func (MonitorInstall) Kind() Kind { return KindMonitorInstall }
+
+// Region returns the monitoring region the install covers.
+func (m MonitorInstall) Region() geo.Circle {
+	return geo.Circle{Center: m.QueryPos, R: m.Radius}
+}
+
+// MonitorCancel tells objects to stop monitoring a query.
+type MonitorCancel struct {
+	Query model.QueryID
+	Epoch uint32
+}
+
+// Kind implements Message.
+func (MonitorCancel) Kind() Kind { return KindMonitorCancel }
+
+// MemberReport is the shared layout of Enter/Exit/Leave reports.
+type MemberReport struct {
+	Query  model.QueryID
+	Epoch  uint32
+	Object model.ObjectID
+	Pos    geo.Point
+	At     model.Tick
+}
+
+// EnterReport: the object crossed inside the advertised answer radius.
+type EnterReport struct{ MemberReport }
+
+// Kind implements Message.
+func (EnterReport) Kind() Kind { return KindEnterReport }
+
+// ExitReport: an answer object crossed outside the advertised radius.
+type ExitReport struct{ MemberReport }
+
+// Kind implements Message.
+func (ExitReport) Kind() Kind { return KindExitReport }
+
+// LeaveReport: an aware object left the monitoring region entirely.
+type LeaveReport struct{ MemberReport }
+
+// Kind implements Message.
+func (LeaveReport) Kind() Kind { return KindLeaveReport }
+
+// MoveReport: an object inside the answer circle refreshed its position.
+type MoveReport struct{ MemberReport }
+
+// Kind implements Message.
+func (MoveReport) Kind() Kind { return KindMoveReport }
+
+// QueryRegister registers a continuous query at the server: a kNN query
+// when Range is zero, otherwise a fixed-radius range-monitoring query
+// (report all objects within Range meters of the moving focal point).
+type QueryRegister struct {
+	Query model.QueryID
+	K     uint32
+	Range float64
+	Pos   geo.Point
+	Vel   geo.Vector
+	At    model.Tick
+}
+
+// Kind implements Message.
+func (QueryRegister) Kind() Kind { return KindQueryRegister }
+
+// QueryMove reports the query focal point's corrected position and
+// velocity.
+type QueryMove struct {
+	Query model.QueryID
+	Pos   geo.Point
+	Vel   geo.Vector
+	At    model.Tick
+}
+
+// Kind implements Message.
+func (QueryMove) Kind() Kind { return KindQueryMove }
+
+// QueryDeregister removes a continuous query.
+type QueryDeregister struct {
+	Query model.QueryID
+}
+
+// Kind implements Message.
+func (QueryDeregister) Kind() Kind { return KindQueryDeregister }
+
+// AnswerUpdate carries a complete current answer to the query client.
+type AnswerUpdate struct {
+	Query     model.QueryID
+	At        model.Tick
+	Neighbors []model.Neighbor
+}
+
+// Kind implements Message.
+func (AnswerUpdate) Kind() Kind { return KindAnswerUpdate }
+
+// AnswerDelta carries an incremental answer change: objects added to the
+// answer (with distances) and objects removed. The client applies it to
+// its last known answer; a full AnswerUpdate re-baselines.
+type AnswerDelta struct {
+	Query   model.QueryID
+	At      model.Tick
+	Added   []model.Neighbor
+	Removed []model.ObjectID
+}
+
+// Kind implements Message.
+func (AnswerDelta) Kind() Kind { return KindAnswerDelta }
+
+// ---------------------------------------------------------------------------
+// Codec
+
+// ErrTruncated is returned by Decode when the buffer is shorter than the
+// fixed layout of its kind requires.
+var ErrTruncated = errors.New("protocol: truncated message")
+
+// ErrUnknownKind is returned by Decode for an unrecognized kind byte.
+var ErrUnknownKind = errors.New("protocol: unknown message kind")
+
+// Encode serializes m, appending to dst (which may be nil) and returning
+// the extended buffer.
+func Encode(dst []byte, m Message) []byte {
+	dst = append(dst, byte(m.Kind()))
+	switch v := m.(type) {
+	case LocationReport:
+		dst = appendU32(dst, uint32(v.Object))
+		dst = appendPoint(dst, v.Pos)
+		dst = appendVec(dst, v.Vel)
+		dst = appendTick(dst, v.At)
+	case ProbeRequest:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.Seq)
+		dst = appendPoint(dst, v.Region.Center)
+		dst = appendF64(dst, v.Region.R)
+		dst = appendTick(dst, v.At)
+	case ProbeReply:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.Seq)
+		dst = appendU32(dst, uint32(v.Object))
+		dst = appendPoint(dst, v.Pos)
+		dst = appendTick(dst, v.At)
+	case MonitorInstall:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.Epoch)
+		dst = appendBool(dst, v.Refresh)
+		dst = appendBool(dst, v.RangeMode)
+		dst = appendPoint(dst, v.QueryPos)
+		dst = appendVec(dst, v.QueryVel)
+		dst = appendF64(dst, v.AnswerRadius)
+		dst = appendF64(dst, v.Radius)
+		dst = appendTick(dst, v.At)
+	case MonitorCancel:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.Epoch)
+	case EnterReport:
+		dst = appendMemberReport(dst, v.MemberReport)
+	case ExitReport:
+		dst = appendMemberReport(dst, v.MemberReport)
+	case LeaveReport:
+		dst = appendMemberReport(dst, v.MemberReport)
+	case MoveReport:
+		dst = appendMemberReport(dst, v.MemberReport)
+	case QueryRegister:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.K)
+		dst = appendF64(dst, v.Range)
+		dst = appendPoint(dst, v.Pos)
+		dst = appendVec(dst, v.Vel)
+		dst = appendTick(dst, v.At)
+	case QueryMove:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendPoint(dst, v.Pos)
+		dst = appendVec(dst, v.Vel)
+		dst = appendTick(dst, v.At)
+	case QueryDeregister:
+		dst = appendU32(dst, uint32(v.Query))
+	case AnswerUpdate:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendTick(dst, v.At)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Neighbors)))
+		for _, n := range v.Neighbors {
+			dst = appendU32(dst, uint32(n.ID))
+			dst = appendF64(dst, n.Dist)
+		}
+	case AnswerDelta:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendTick(dst, v.At)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Added)))
+		for _, n := range v.Added {
+			dst = appendU32(dst, uint32(n.ID))
+			dst = appendF64(dst, n.Dist)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Removed)))
+		for _, id := range v.Removed {
+			dst = appendU32(dst, uint32(id))
+		}
+	default:
+		panic(fmt.Sprintf("protocol: Encode of unknown type %T", m))
+	}
+	return dst
+}
+
+// EncodedSize returns the wire size of m in bytes.
+func EncodedSize(m Message) int {
+	// Small messages: encoding is cheap enough that sizing via Encode
+	// would be acceptable, but the fixed layouts let us answer directly.
+	switch v := m.(type) {
+	case LocationReport:
+		return 1 + 4 + 16 + 16 + 8
+	case ProbeRequest:
+		return 1 + 4 + 4 + 16 + 8 + 8
+	case ProbeReply:
+		return 1 + 4 + 4 + 4 + 16 + 8
+	case MonitorInstall:
+		return 1 + 4 + 4 + 1 + 1 + 16 + 16 + 8 + 8 + 8
+	case MonitorCancel:
+		return 1 + 4 + 4
+	case EnterReport, ExitReport, LeaveReport, MoveReport:
+		return 1 + memberReportSize
+	case QueryRegister:
+		return 1 + 4 + 4 + 8 + 16 + 16 + 8
+	case QueryMove:
+		return 1 + 4 + 16 + 16 + 8
+	case QueryDeregister:
+		return 1 + 4
+	case AnswerUpdate:
+		return 1 + 4 + 8 + 2 + len(v.Neighbors)*12
+	case AnswerDelta:
+		return 1 + 4 + 8 + 2 + len(v.Added)*12 + 2 + len(v.Removed)*4
+	default:
+		panic(fmt.Sprintf("protocol: EncodedSize of unknown type %T", m))
+	}
+}
+
+const memberReportSize = 4 + 4 + 4 + 16 + 8
+
+// Decode parses one message from buf. The entire buffer must be consumed;
+// trailing bytes are an error, which catches framing bugs early.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < 1 {
+		return nil, ErrTruncated
+	}
+	k := Kind(buf[0])
+	r := reader{buf: buf[1:]}
+	var m Message
+	switch k {
+	case KindLocationReport:
+		m = LocationReport{
+			Object: model.ObjectID(r.u32()),
+			Pos:    r.point(),
+			Vel:    r.vec(),
+			At:     r.tick(),
+		}
+	case KindProbeRequest:
+		m = ProbeRequest{
+			Query:  model.QueryID(r.u32()),
+			Seq:    r.u32(),
+			Region: geo.Circle{Center: r.point(), R: r.f64()},
+			At:     r.tick(),
+		}
+	case KindProbeReply:
+		m = ProbeReply{
+			Query:  model.QueryID(r.u32()),
+			Seq:    r.u32(),
+			Object: model.ObjectID(r.u32()),
+			Pos:    r.point(),
+			At:     r.tick(),
+		}
+	case KindMonitorInstall:
+		m = MonitorInstall{
+			Query:        model.QueryID(r.u32()),
+			Epoch:        r.u32(),
+			Refresh:      r.bool(),
+			RangeMode:    r.bool(),
+			QueryPos:     r.point(),
+			QueryVel:     r.vec(),
+			AnswerRadius: r.f64(),
+			Radius:       r.f64(),
+			At:           r.tick(),
+		}
+	case KindMonitorCancel:
+		m = MonitorCancel{
+			Query: model.QueryID(r.u32()),
+			Epoch: r.u32(),
+		}
+	case KindEnterReport:
+		m = EnterReport{r.memberReport()}
+	case KindExitReport:
+		m = ExitReport{r.memberReport()}
+	case KindLeaveReport:
+		m = LeaveReport{r.memberReport()}
+	case KindMoveReport:
+		m = MoveReport{r.memberReport()}
+	case KindQueryRegister:
+		m = QueryRegister{
+			Query: model.QueryID(r.u32()),
+			K:     r.u32(),
+			Range: r.f64(),
+			Pos:   r.point(),
+			Vel:   r.vec(),
+			At:    r.tick(),
+		}
+	case KindQueryMove:
+		m = QueryMove{
+			Query: model.QueryID(r.u32()),
+			Pos:   r.point(),
+			Vel:   r.vec(),
+			At:    r.tick(),
+		}
+	case KindQueryDeregister:
+		m = QueryDeregister{Query: model.QueryID(r.u32())}
+	case KindAnswerUpdate:
+		au := AnswerUpdate{
+			Query: model.QueryID(r.u32()),
+			At:    r.tick(),
+		}
+		n := int(r.u16())
+		if !r.failed && n > 0 {
+			au.Neighbors = make([]model.Neighbor, 0, n)
+			for i := 0; i < n; i++ {
+				au.Neighbors = append(au.Neighbors, model.Neighbor{
+					ID:   model.ObjectID(r.u32()),
+					Dist: r.f64(),
+				})
+			}
+		}
+		m = au
+	case KindAnswerDelta:
+		ad := AnswerDelta{
+			Query: model.QueryID(r.u32()),
+			At:    r.tick(),
+		}
+		na := int(r.u16())
+		if !r.failed && na > 0 {
+			ad.Added = make([]model.Neighbor, 0, na)
+			for i := 0; i < na; i++ {
+				ad.Added = append(ad.Added, model.Neighbor{
+					ID:   model.ObjectID(r.u32()),
+					Dist: r.f64(),
+				})
+			}
+		}
+		nr := int(r.u16())
+		if !r.failed && nr > 0 {
+			ad.Removed = make([]model.ObjectID, 0, nr)
+			for i := 0; i < nr; i++ {
+				ad.Removed = append(ad.Removed, model.ObjectID(r.u32()))
+			}
+		}
+		m = ad
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
+	}
+	if r.failed {
+		return nil, ErrTruncated
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after %v", len(r.buf), k)
+	}
+	return m, nil
+}
+
+// reader consumes little-endian fields, latching failure on underflow so
+// call sites stay linear.
+type reader struct {
+	buf    []byte
+	failed bool
+}
+
+func (r *reader) take(n int) []byte {
+	if r.failed || len(r.buf) < n {
+		r.failed = true
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *reader) tick() model.Tick {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return model.Tick(binary.LittleEndian.Uint64(b))
+}
+
+func (r *reader) bool() bool {
+	b := r.take(1)
+	if b == nil {
+		return false
+	}
+	// Strict: only 0 and 1 are valid bool encodings, so every accepted
+	// message has exactly one byte representation.
+	if b[0] > 1 {
+		r.failed = true
+		return false
+	}
+	return b[0] == 1
+}
+
+func (r *reader) point() geo.Point { return geo.Pt(r.f64(), r.f64()) }
+
+func (r *reader) vec() geo.Vector { return geo.Vec(r.f64(), r.f64()) }
+
+func (r *reader) memberReport() MemberReport {
+	return MemberReport{
+		Query:  model.QueryID(r.u32()),
+		Epoch:  r.u32(),
+		Object: model.ObjectID(r.u32()),
+		Pos:    r.point(),
+		At:     r.tick(),
+	}
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendTick(dst []byte, t model.Tick) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(t))
+}
+
+func appendPoint(dst []byte, p geo.Point) []byte {
+	dst = appendF64(dst, p.X)
+	return appendF64(dst, p.Y)
+}
+
+func appendVec(dst []byte, v geo.Vector) []byte {
+	dst = appendF64(dst, v.X)
+	return appendF64(dst, v.Y)
+}
+
+func appendMemberReport(dst []byte, m MemberReport) []byte {
+	dst = appendU32(dst, uint32(m.Query))
+	dst = appendU32(dst, m.Epoch)
+	dst = appendU32(dst, uint32(m.Object))
+	dst = appendPoint(dst, m.Pos)
+	return appendTick(dst, m.At)
+}

@@ -1,0 +1,191 @@
+package protocol
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+// sampleMessages returns one representative of every message kind, with
+// non-trivial field values so byte-order bugs can't hide behind zeros.
+func sampleMessages() []Message {
+	return []Message{
+		LocationReport{Object: 7, Pos: geo.Pt(1.5, -2.25), Vel: geo.Vec(0.5, 9), At: 42},
+		ProbeRequest{Query: 3, Seq: 9, Region: geo.Circle{Center: geo.Pt(10, 20), R: 55.5}, At: 1},
+		ProbeReply{Query: 3, Seq: 9, Object: 12, Pos: geo.Pt(-1, -2), At: 2},
+		MonitorInstall{Query: 5, Epoch: 2, QueryPos: geo.Pt(100, 200), QueryVel: geo.Vec(-3, 4),
+			AnswerRadius: 75.25, Radius: 150.5, At: 17},
+		MonitorInstall{Query: 6, Epoch: 3, Refresh: true, QueryPos: geo.Pt(1, 2), QueryVel: geo.Vec(0, 0),
+			AnswerRadius: 10, Radius: 20, At: 18},
+		MonitorCancel{Query: 5, Epoch: 2},
+		EnterReport{MemberReport{Query: 5, Epoch: 2, Object: 99, Pos: geo.Pt(7, 8), At: 18}},
+		ExitReport{MemberReport{Query: 5, Epoch: 2, Object: 98, Pos: geo.Pt(9, 10), At: 19}},
+		LeaveReport{MemberReport{Query: 5, Epoch: 3, Object: 97, Pos: geo.Pt(11, 12), At: 20}},
+		MoveReport{MemberReport{Query: 5, Epoch: 3, Object: 96, Pos: geo.Pt(13, 14), At: 21}},
+		QueryRegister{Query: 8, K: 10, Pos: geo.Pt(500, 500), Vel: geo.Vec(1, 1), At: 0},
+		QueryRegister{Query: 9, Range: 250.5, Pos: geo.Pt(10, 10), At: 1},
+		MonitorInstall{Query: 9, Epoch: 1, RangeMode: true, QueryPos: geo.Pt(10, 10),
+			AnswerRadius: 250.5, Radius: 400, At: 1},
+		QueryMove{Query: 8, Pos: geo.Pt(510, 505), Vel: geo.Vec(2, 0), At: 30},
+		QueryDeregister{Query: 8},
+		AnswerUpdate{Query: 8, At: 31, Neighbors: []model.Neighbor{
+			{ID: 4, Dist: 12.5}, {ID: 9, Dist: 13.75}, {ID: 1, Dist: 99},
+		}},
+		AnswerUpdate{Query: 9, At: 32}, // empty answer
+		AnswerDelta{Query: 9, At: 33,
+			Added:   []model.Neighbor{{ID: 5, Dist: 7.5}},
+			Removed: []model.ObjectID{3, 4}},
+		AnswerDelta{Query: 10, At: 34}, // empty delta
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf := Encode(nil, m)
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: Decode error: %v", m.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%v round trip:\n got %#v\nwant %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf := Encode(nil, m)
+		if got := EncodedSize(m); got != len(buf) {
+			t.Errorf("%v: EncodedSize = %d, Encode produced %d bytes", m.Kind(), got, len(buf))
+		}
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	buf := Encode(prefix, QueryDeregister{Query: 1})
+	if len(buf) != 2+EncodedSize(QueryDeregister{Query: 1}) {
+		t.Fatalf("Encode did not append: len %d", len(buf))
+	}
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Fatal("Encode clobbered prefix")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf := Encode(nil, m)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := Decode(buf[:cut]); err == nil {
+				t.Fatalf("%v: truncation to %d bytes decoded successfully", m.Kind(), cut)
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	buf := Encode(nil, MonitorCancel{Query: 1, Epoch: 1})
+	buf = append(buf, 0x00)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	_, err := Decode([]byte{0xFF, 0, 0, 0, 0})
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty buffer err = %v, want ErrTruncated", err)
+	}
+	if _, err := Decode([]byte{0}); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+}
+
+func TestAnswerUpdateLargeAnswer(t *testing.T) {
+	ns := make([]model.Neighbor, 1000)
+	for i := range ns {
+		ns[i] = model.Neighbor{ID: model.ObjectID(i + 1), Dist: float64(i) * 1.5}
+	}
+	m := AnswerUpdate{Query: 1, At: 5, Neighbors: ns}
+	got, err := Decode(Encode(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatal("large answer round trip mismatch")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" || k.String()[0] == 'k' && k.String() != kindNames[k] {
+			t.Errorf("kind %d has bad name %q", k, k.String())
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}
+
+func TestKindsCoversAllSamples(t *testing.T) {
+	have := map[Kind]bool{}
+	for _, m := range sampleMessages() {
+		have[m.Kind()] = true
+	}
+	for _, k := range Kinds() {
+		if !have[k] {
+			t.Errorf("no sample message for kind %v; extend sampleMessages", k)
+		}
+	}
+}
+
+func TestMonitorInstallRegion(t *testing.T) {
+	m := MonitorInstall{QueryPos: geo.Pt(5, 6), Radius: 7}
+	r := m.Region()
+	if r.Center != geo.Pt(5, 6) || r.R != 7 {
+		t.Fatalf("Region = %v", r)
+	}
+}
+
+// Fuzz-ish robustness: random buffers never panic and either decode to a
+// valid kind or error.
+func TestDecodeRandomBuffersNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		m, err := Decode(buf)
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+	}
+}
+
+func BenchmarkEncodeLocationReport(b *testing.B) {
+	m := LocationReport{Object: 7, Pos: geo.Pt(1, 2), Vel: geo.Vec(3, 4), At: 42}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeLocationReport(b *testing.B) {
+	buf := Encode(nil, LocationReport{Object: 7, Pos: geo.Pt(1, 2), Vel: geo.Vec(3, 4), At: 42})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

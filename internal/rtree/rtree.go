@@ -1,0 +1,590 @@
+// Package rtree implements an in-memory R-tree over moving point
+// objects — the second spatial index substrate of the engine, alongside
+// the uniform grid. Continuous-query servers in the literature are built
+// on either structure; having both lets the evaluation ablate the index
+// choice (EXPERIMENTS.md fig14) and gives library users an index that
+// adapts to skewed populations, where a uniform grid degenerates.
+//
+// The implementation is a classic quadratic-split R-tree specialized to
+// points:
+//
+//   - entries are (id, point); leaf and internal nodes hold up to
+//     maxEntries children and split quadratically on overflow;
+//   - deletion uses the standard condense-tree reinsertion;
+//   - Update is delete+insert, with a fast path when the point stays
+//     inside its current leaf's bounding box;
+//   - KNN is best-first search over node MBRs with a bounded top-k
+//     accumulator; Range collects subtrees intersecting the circle.
+//
+// The tree is not safe for concurrent mutation, matching the grid's
+// contract.
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"dmknn/internal/container/pq"
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+)
+
+const (
+	maxEntries = 16
+	minEntries = maxEntries * 2 / 5 // 40% fill, the common choice
+)
+
+// node is a tree node: a leaf holds points, an internal node holds
+// children. Both store the minimum bounding rectangle of their content.
+type node struct {
+	mbr      geo.Rect
+	leaf     bool
+	parent   *node
+	children []*node          // internal nodes
+	ids      []model.ObjectID // leaves
+	pts      []geo.Point      // leaves, parallel to ids
+}
+
+// Tree is an R-tree over point objects.
+type Tree struct {
+	root    *node
+	objects map[model.ObjectID]*node // leaf currently holding each object
+	size    int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{
+		root:    &node{leaf: true, mbr: emptyRect()},
+		objects: make(map[model.ObjectID]*node),
+	}
+}
+
+func emptyRect() geo.Rect {
+	return geo.Rect{
+		Min: geo.Pt(math.Inf(1), math.Inf(1)),
+		Max: geo.Pt(math.Inf(-1), math.Inf(-1)),
+	}
+}
+
+func rectOf(p geo.Point) geo.Rect { return geo.Rect{Min: p, Max: p} }
+
+func union(a, b geo.Rect) geo.Rect {
+	return geo.Rect{
+		Min: geo.Pt(math.Min(a.Min.X, b.Min.X), math.Min(a.Min.Y, b.Min.Y)),
+		Max: geo.Pt(math.Max(a.Max.X, b.Max.X), math.Max(a.Max.Y, b.Max.Y)),
+	}
+}
+
+func area(r geo.Rect) float64 {
+	w, h := r.Max.X-r.Min.X, r.Max.Y-r.Min.Y
+	if w < 0 || h < 0 {
+		return 0
+	}
+	return w * h
+}
+
+// enlargement returns how much r must grow to cover p.
+func enlargement(r geo.Rect, p geo.Point) float64 {
+	return area(union(r, rectOf(p))) - area(r)
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Position returns the indexed position of id.
+func (t *Tree) Position(id model.ObjectID) (geo.Point, bool) {
+	leaf, ok := t.objects[id]
+	if !ok {
+		return geo.Point{}, false
+	}
+	for i, lid := range leaf.ids {
+		if lid == id {
+			return leaf.pts[i], true
+		}
+	}
+	// The objects map and the leaf disagree: a structural bug.
+	panic(fmt.Sprintf("rtree: object %d missing from its leaf", id))
+}
+
+// Insert adds an object at position p. Inserting a present id is an
+// error; use Update to move objects.
+func (t *Tree) Insert(id model.ObjectID, p geo.Point) error {
+	if _, ok := t.objects[id]; ok {
+		return fmt.Errorf("rtree: object %d already present", id)
+	}
+	t.insert(id, p)
+	t.size++
+	return nil
+}
+
+func (t *Tree) insert(id model.ObjectID, p geo.Point) {
+	leaf := t.chooseLeaf(t.root, p)
+	leaf.ids = append(leaf.ids, id)
+	leaf.pts = append(leaf.pts, p)
+	t.objects[id] = leaf
+	t.extend(leaf, rectOf(p))
+	if len(leaf.ids) > maxEntries {
+		t.splitLeaf(leaf)
+	}
+}
+
+// chooseLeaf descends to the leaf needing least enlargement.
+func (t *Tree) chooseLeaf(n *node, p geo.Point) *node {
+	for !n.leaf {
+		var best *node
+		bestGrow, bestArea := math.Inf(1), math.Inf(1)
+		for _, c := range n.children {
+			g := enlargement(c.mbr, p)
+			a := area(c.mbr)
+			if g < bestGrow || (g == bestGrow && a < bestArea) {
+				best, bestGrow, bestArea = c, g, a
+			}
+		}
+		n = best
+	}
+	return n
+}
+
+// extend grows MBRs from n to the root to cover r.
+func (t *Tree) extend(n *node, r geo.Rect) {
+	for ; n != nil; n = n.parent {
+		n.mbr = union(n.mbr, r)
+	}
+}
+
+// splitLeaf performs a quadratic split of an overflowing leaf and
+// propagates upward.
+func (t *Tree) splitLeaf(leaf *node) {
+	ids, pts := leaf.ids, leaf.pts
+	seedA, seedB := quadraticSeedsPts(pts)
+
+	a := &node{leaf: true, mbr: rectOf(pts[seedA])}
+	b := &node{leaf: true, mbr: rectOf(pts[seedB])}
+	a.ids = append(a.ids, ids[seedA])
+	a.pts = append(a.pts, pts[seedA])
+	b.ids = append(b.ids, ids[seedB])
+	b.pts = append(b.pts, pts[seedB])
+
+	assign := func(n *node, id model.ObjectID, p geo.Point) {
+		n.ids = append(n.ids, id)
+		n.pts = append(n.pts, p)
+		n.mbr = union(n.mbr, rectOf(p))
+	}
+	remaining := len(ids) - 2
+	for i := range ids {
+		if i == seedA || i == seedB {
+			continue
+		}
+		// Force balance so both halves reach minEntries.
+		switch {
+		case len(a.ids)+remaining == minEntries:
+			assign(a, ids[i], pts[i])
+		case len(b.ids)+remaining == minEntries:
+			assign(b, ids[i], pts[i])
+		default:
+			ga := enlargement(a.mbr, pts[i])
+			gb := enlargement(b.mbr, pts[i])
+			if ga < gb || (ga == gb && area(a.mbr) <= area(b.mbr)) {
+				assign(a, ids[i], pts[i])
+			} else {
+				assign(b, ids[i], pts[i])
+			}
+		}
+		remaining--
+	}
+	for i, id := range a.ids {
+		t.objects[id] = a
+		_ = i
+	}
+	for _, id := range b.ids {
+		t.objects[id] = b
+	}
+	t.replaceWithPair(leaf, a, b)
+}
+
+// splitInternal quadratic-splits an overflowing internal node.
+func (t *Tree) splitInternal(n *node) {
+	cs := n.children
+	seedA, seedB := quadraticSeedsRects(cs)
+
+	a := &node{mbr: cs[seedA].mbr}
+	b := &node{mbr: cs[seedB].mbr}
+	a.children = append(a.children, cs[seedA])
+	b.children = append(b.children, cs[seedB])
+
+	assign := func(dst *node, c *node) {
+		dst.children = append(dst.children, c)
+		dst.mbr = union(dst.mbr, c.mbr)
+	}
+	remaining := len(cs) - 2
+	for i, c := range cs {
+		if i == seedA || i == seedB {
+			continue
+		}
+		switch {
+		case len(a.children)+remaining == minEntries:
+			assign(a, c)
+		case len(b.children)+remaining == minEntries:
+			assign(b, c)
+		default:
+			ga := area(union(a.mbr, c.mbr)) - area(a.mbr)
+			gb := area(union(b.mbr, c.mbr)) - area(b.mbr)
+			if ga < gb || (ga == gb && area(a.mbr) <= area(b.mbr)) {
+				assign(a, c)
+			} else {
+				assign(b, c)
+			}
+		}
+		remaining--
+	}
+	for _, c := range a.children {
+		c.parent = a
+	}
+	for _, c := range b.children {
+		c.parent = b
+	}
+	t.replaceWithPair(n, a, b)
+}
+
+// replaceWithPair substitutes old with nodes a and b in old's parent,
+// growing the tree when old was the root, and splits upward as needed.
+func (t *Tree) replaceWithPair(old, a, b *node) {
+	parent := old.parent
+	if parent == nil {
+		root := &node{mbr: union(a.mbr, b.mbr), children: []*node{a, b}}
+		a.parent, b.parent = root, root
+		t.root = root
+		return
+	}
+	for i, c := range parent.children {
+		if c == old {
+			parent.children[i] = a
+			break
+		}
+	}
+	parent.children = append(parent.children, b)
+	a.parent, b.parent = parent, parent
+	parent.mbr = union(parent.mbr, union(a.mbr, b.mbr))
+	if len(parent.children) > maxEntries {
+		t.splitInternal(parent)
+	}
+}
+
+// quadraticSeedsPts picks the two points wasting the most area together.
+func quadraticSeedsPts(pts []geo.Point) (int, int) {
+	worst, si, sj := -1.0, 0, 1
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d := area(union(rectOf(pts[i]), rectOf(pts[j])))
+			if d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	return si, sj
+}
+
+// quadraticSeedsRects picks the two child rects wasting the most area.
+func quadraticSeedsRects(cs []*node) (int, int) {
+	worst, si, sj := math.Inf(-1), 0, 1
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			d := area(union(cs[i].mbr, cs[j].mbr)) - area(cs[i].mbr) - area(cs[j].mbr)
+			if d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	return si, sj
+}
+
+// Remove deletes an object. Removing an absent id is an error.
+func (t *Tree) Remove(id model.ObjectID) error {
+	leaf, ok := t.objects[id]
+	if !ok {
+		return fmt.Errorf("rtree: object %d not present", id)
+	}
+	t.removeFromLeaf(leaf, id)
+	t.size--
+	return nil
+}
+
+func (t *Tree) removeFromLeaf(leaf *node, id model.ObjectID) {
+	for i, lid := range leaf.ids {
+		if lid == id {
+			last := len(leaf.ids) - 1
+			leaf.ids[i] = leaf.ids[last]
+			leaf.pts[i] = leaf.pts[last]
+			leaf.ids = leaf.ids[:last]
+			leaf.pts = leaf.pts[:last]
+			break
+		}
+	}
+	delete(t.objects, id)
+	t.condense(leaf)
+}
+
+// condense handles underflow after a removal: underfull nodes are removed
+// from the tree and their entries reinserted; MBRs are tightened on the
+// path to the root.
+func (t *Tree) condense(n *node) {
+	var orphanIDs []model.ObjectID
+	var orphanPts []geo.Point
+	var orphanNodes []*node
+
+	for n.parent != nil {
+		parent := n.parent
+		under := false
+		if n.leaf {
+			under = len(n.ids) < minEntries
+		} else {
+			under = len(n.children) < minEntries
+		}
+		if under {
+			// Unlink n and queue its content for reinsertion.
+			for i, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:i], parent.children[i+1:]...)
+					break
+				}
+			}
+			if n.leaf {
+				orphanIDs = append(orphanIDs, n.ids...)
+				orphanPts = append(orphanPts, n.pts...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		} else {
+			n.mbr = tighten(n)
+		}
+		n = parent
+	}
+	t.root.mbr = tighten(t.root)
+
+	// Shrink a root with a single internal child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true, mbr: emptyRect()}
+	}
+
+	// Reinsert orphaned points.
+	for i, id := range orphanIDs {
+		t.insert(id, orphanPts[i])
+	}
+	// Reinsert orphaned subtrees leaf-by-leaf (rare; simple and correct).
+	for _, sub := range orphanNodes {
+		collectLeaves(sub, func(leaf *node) {
+			for i, id := range leaf.ids {
+				t.insert(id, leaf.pts[i])
+			}
+		})
+	}
+}
+
+func collectLeaves(n *node, fn func(*node)) {
+	if n.leaf {
+		fn(n)
+		return
+	}
+	for _, c := range n.children {
+		collectLeaves(c, fn)
+	}
+}
+
+// tighten recomputes a node's MBR from its content.
+func tighten(n *node) geo.Rect {
+	r := emptyRect()
+	if n.leaf {
+		for _, p := range n.pts {
+			r = union(r, rectOf(p))
+		}
+		return r
+	}
+	for _, c := range n.children {
+		r = union(r, c.mbr)
+	}
+	return r
+}
+
+// Update moves an existing object to position p.
+func (t *Tree) Update(id model.ObjectID, p geo.Point) error {
+	leaf, ok := t.objects[id]
+	if !ok {
+		return fmt.Errorf("rtree: object %d not present", id)
+	}
+	// Fast path: the point stays inside its leaf's MBR — no structure
+	// changes, which makes high-frequency small moves cheap.
+	if leaf.mbr.Contains(p) {
+		for i, lid := range leaf.ids {
+			if lid == id {
+				leaf.pts[i] = p
+				return nil
+			}
+		}
+	}
+	t.removeFromLeaf(leaf, id)
+	t.insert(id, p)
+	return nil
+}
+
+// KNN returns the k nearest objects to q in ascending distance order,
+// ties broken by id. skip, if non-nil, excludes ids.
+func (t *Tree) KNN(q geo.Point, k int, skip map[model.ObjectID]bool) []model.Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	best := pq.NewBoundedMax[model.ObjectID](k)
+	frontier := pq.NewMin[*node](32)
+	frontier.Push(t.root.mbr.MinDist(q), t.root)
+	for frontier.Len() > 0 {
+		d, n := frontier.Pop()
+		if best.Full() && d > best.Worst() {
+			break
+		}
+		if n.leaf {
+			for i, id := range n.ids {
+				if skip != nil && skip[id] {
+					continue
+				}
+				best.Offer(n.pts[i].Dist(q), id)
+			}
+			continue
+		}
+		for _, c := range n.children {
+			md := c.mbr.MinDist(q)
+			if !best.Full() || md <= best.Worst() {
+				frontier.Push(md, c)
+			}
+		}
+	}
+	dists, ids := best.Drain()
+	out := make([]model.Neighbor, len(ids))
+	for i := range ids {
+		out[i] = model.Neighbor{ID: ids[i], Dist: dists[i]}
+	}
+	model.SortNeighbors(out)
+	return out
+}
+
+// Range returns every object within the circle, ascending by distance
+// with ties broken by id.
+func (t *Tree) Range(c geo.Circle, skip map[model.ObjectID]bool) []model.Neighbor {
+	if c.R < 0 || t.size == 0 {
+		return nil
+	}
+	var out []model.Neighbor
+	rsq := c.R * c.R
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.mbr.MinDistSq(c.Center) > rsq {
+			return
+		}
+		if n.leaf {
+			for i, id := range n.ids {
+				if skip != nil && skip[id] {
+					continue
+				}
+				if dsq := n.pts[i].DistSq(c.Center); dsq <= rsq {
+					out = append(out, model.Neighbor{ID: id, Dist: math.Sqrt(dsq)})
+				}
+			}
+			return
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(t.root)
+	model.SortNeighbors(out)
+	return out
+}
+
+// VisitAll calls fn for every indexed object; iteration order is
+// unspecified. If fn returns false the visit stops early.
+func (t *Tree) VisitAll(fn func(id model.ObjectID, p geo.Point) bool) {
+	stop := false
+	var walk func(n *node)
+	walk = func(n *node) {
+		if stop {
+			return
+		}
+		if n.leaf {
+			for i, id := range n.ids {
+				if !fn(id, n.pts[i]) {
+					stop = true
+					return
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// CheckInvariants validates the structural invariants (tests use it):
+// every node's MBR covers its content, leaves hold between minEntries and
+// maxEntries entries (root excepted), parents link correctly, and the
+// object map agrees with leaf content.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var walk func(n *node, depth int) (int, error)
+	walk = func(n *node, depth int) (int, error) {
+		if n.leaf {
+			if n != t.root && (len(n.ids) < minEntries || len(n.ids) > maxEntries) {
+				return 0, fmt.Errorf("rtree: leaf fill %d outside [%d,%d]", len(n.ids), minEntries, maxEntries)
+			}
+			for i, p := range n.pts {
+				if !n.mbr.Contains(p) {
+					return 0, fmt.Errorf("rtree: point %v outside leaf mbr %v", p, n.mbr)
+				}
+				if t.objects[n.ids[i]] != n {
+					return 0, fmt.Errorf("rtree: object map stale for %d", n.ids[i])
+				}
+			}
+			count += len(n.ids)
+			return depth, nil
+		}
+		if n != t.root && (len(n.children) < minEntries || len(n.children) > maxEntries) {
+			return 0, fmt.Errorf("rtree: node fill %d outside [%d,%d]", len(n.children), minEntries, maxEntries)
+		}
+		if len(n.children) == 0 {
+			return 0, fmt.Errorf("rtree: empty internal node")
+		}
+		leafDepth := -1
+		for _, c := range n.children {
+			if c.parent != n {
+				return 0, fmt.Errorf("rtree: broken parent link")
+			}
+			if !(n.mbr.Contains(c.mbr.Min) && n.mbr.Contains(c.mbr.Max)) {
+				return 0, fmt.Errorf("rtree: child mbr %v escapes parent %v", c.mbr, n.mbr)
+			}
+			d, err := walk(c, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if leafDepth != d {
+				return 0, fmt.Errorf("rtree: unbalanced leaves at depths %d and %d", leafDepth, d)
+			}
+		}
+		return leafDepth, nil
+	}
+	if _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d entries reachable", t.size, count)
+	}
+	if count != len(t.objects) {
+		return fmt.Errorf("rtree: object map has %d, tree has %d", len(t.objects), count)
+	}
+	return nil
+}

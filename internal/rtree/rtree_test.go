@@ -1,0 +1,311 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/knn"
+	"dmknn/internal/model"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := tr.KNN(geo.Pt(0, 0), 3, nil); got != nil {
+		t.Fatalf("empty kNN = %v", got)
+	}
+	if got := tr.Range(geo.Circle{Center: geo.Pt(0, 0), R: 10}, nil); got != nil {
+		t.Fatalf("empty range = %v", got)
+	}
+	if _, ok := tr.Position(1); ok {
+		t.Fatal("position in empty tree")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRemoveErrors(t *testing.T) {
+	tr := New()
+	if err := tr.Insert(1, geo.Pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, geo.Pt(2, 2)); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if err := tr.Remove(9); err == nil {
+		t.Fatal("absent remove accepted")
+	}
+	if err := tr.Update(9, geo.Pt(0, 0)); err == nil {
+		t.Fatal("absent update accepted")
+	}
+	if err := tr.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("size after remove")
+	}
+}
+
+func TestBasicKNNAndRange(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 100; i++ {
+		if err := tr.Insert(model.ObjectID(i), geo.Pt(float64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.KNN(geo.Pt(0, 0), 3, nil)
+	if len(got) != 3 || got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+		t.Fatalf("kNN = %v", got)
+	}
+	got = tr.Range(geo.Circle{Center: geo.Pt(50, 0), R: 2.5}, nil)
+	if len(got) != 5 {
+		t.Fatalf("range |%v| = %d, want 5", got, len(got))
+	}
+	// Skip set.
+	got = tr.KNN(geo.Pt(0, 0), 2, map[model.ObjectID]bool{1: true})
+	if got[0].ID != 2 {
+		t.Fatalf("skip ignored: %v", got)
+	}
+}
+
+// The long random-operation stream: the tree must match a reference map
+// and the brute-force oracle at every checkpoint, and its structural
+// invariants must hold.
+func TestRandomOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := New()
+	ref := map[model.ObjectID]geo.Point{}
+	nextID := model.ObjectID(1)
+	randPt := func() geo.Point {
+		return geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	pickID := func() model.ObjectID {
+		ids := make([]model.ObjectID, 0, len(ref))
+		for id := range ref {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids[rng.Intn(len(ids))]
+	}
+
+	for step := 0; step < 12000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4:
+			id := nextID
+			nextID++
+			p := randPt()
+			if err := tr.Insert(id, p); err != nil {
+				t.Fatal(err)
+			}
+			ref[id] = p
+		case op < 8 && len(ref) > 0:
+			id := pickID()
+			var p geo.Point
+			if rng.Intn(2) == 0 {
+				// Small move (fast path candidate).
+				p = ref[id]
+				p.X += rng.Float64()*10 - 5
+				p.Y += rng.Float64()*10 - 5
+			} else {
+				p = randPt()
+			}
+			if err := tr.Update(id, p); err != nil {
+				t.Fatal(err)
+			}
+			ref[id] = p
+		case len(ref) > 0:
+			id := pickID()
+			if err := tr.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, id)
+		}
+		if step%1000 == 999 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("size %d != ref %d", tr.Len(), len(ref))
+	}
+
+	// Content equality.
+	states := make([]model.ObjectState, 0, len(ref))
+	for id, p := range ref {
+		states = append(states, model.ObjectState{ID: id, Pos: p})
+		got, ok := tr.Position(id)
+		if !ok || got != p {
+			t.Fatalf("Position(%d) = %v %v, want %v", id, got, ok, p)
+		}
+	}
+	seen := 0
+	tr.VisitAll(func(id model.ObjectID, p geo.Point) bool {
+		seen++
+		if ref[id] != p {
+			t.Fatalf("VisitAll: %d at %v, ref %v", id, p, ref[id])
+		}
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("VisitAll saw %d, want %d", seen, len(ref))
+	}
+
+	// kNN and range equivalence against brute force.
+	for trial := 0; trial < 150; trial++ {
+		q := randPt()
+		k := 1 + rng.Intn(25)
+		want := knn.BruteForce(states, q, k, nil)
+		got := tr.KNN(q, k, nil)
+		if len(got) != len(want) {
+			t.Fatalf("kNN len %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d k=%d pos %d: %v vs %v", trial, k, i, got[i], want[i])
+			}
+		}
+		c := geo.Circle{Center: q, R: rng.Float64() * 200}
+		gotR := tr.Range(c, nil)
+		wantR := bruteRange(states, c)
+		if len(gotR) != len(wantR) {
+			t.Fatalf("range len %d vs %d", len(gotR), len(wantR))
+		}
+		for i := range gotR {
+			if gotR[i].ID != wantR[i].ID {
+				t.Fatalf("range pos %d: %v vs %v", i, gotR[i], wantR[i])
+			}
+		}
+	}
+}
+
+func bruteRange(states []model.ObjectState, c geo.Circle) []model.Neighbor {
+	var out []model.Neighbor
+	for _, s := range states {
+		if d := s.Pos.Dist(c.Center); d <= c.R {
+			out = append(out, model.Neighbor{ID: s.ID, Dist: d})
+		}
+	}
+	model.SortNeighbors(out)
+	return out
+}
+
+// Skewed data is the R-tree's reason to exist: everything in one corner
+// must still give correct answers and a balanced structure.
+func TestSkewedCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	states := make([]model.ObjectState, 0, 3000)
+	for i := 1; i <= 3000; i++ {
+		p := geo.Pt(rng.Float64()*10, rng.Float64()*10) // 10m corner of a km world
+		if err := tr.Insert(model.ObjectID(i), p); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, model.ObjectState{ID: model.ObjectID(i), Pos: p})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Pt(500, 500)
+	want := knn.BruteForce(states, q, 10, nil)
+	got := tr.KNN(q, 10, nil)
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("skewed kNN pos %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDrainToEmptyAndReuse(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 500; i++ {
+		if err := tr.Insert(model.ObjectID(i), geo.Pt(float64(i%37), float64(i%53))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 500; i++ {
+		if err := tr.Remove(model.ObjectID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reusable after draining.
+	if err := tr.Insert(1, geo.Pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.KNN(geo.Pt(0, 0), 1, nil); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("post-drain kNN = %v", got)
+	}
+}
+
+func TestVisitAllEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 100; i++ {
+		if err := tr.Insert(model.ObjectID(i), geo.Pt(float64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	tr.VisitAll(func(model.ObjectID, geo.Point) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop saw %d", n)
+	}
+}
+
+func BenchmarkRTreeUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	tr := New()
+	const n = 20000
+	pts := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		if err := tr.Insert(model.ObjectID(i+1), pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		p := pts[j]
+		p.X += rng.Float64()*40 - 20
+		p.Y += rng.Float64()*40 - 20
+		pts[j] = p
+		if err := tr.Update(model.ObjectID(j+1), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTreeKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	tr := New()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(model.ObjectID(i+1), geo.Pt(rng.Float64()*10000, rng.Float64()*10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(geo.Pt(rng.Float64()*10000, rng.Float64()*10000), 10, nil)
+	}
+}

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/sim"
+	"dmknn/internal/transport"
+)
+
+// lockedSide serializes sends from concurrently ticking shards onto a
+// medium that is not safe for concurrent use (the simulated network; the
+// TCP transport would not need it).
+type lockedSide struct {
+	mu   sync.Mutex
+	side transport.ServerSide
+}
+
+func (l *lockedSide) Downlink(to model.ObjectID, m protocol.Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.side.Downlink(to, m)
+}
+
+func (l *lockedSide) Broadcast(region geo.Circle, m protocol.Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.side.Broadcast(region, m)
+}
+
+// Method plugs the sharded server into the simulation engine. The client
+// side is identical to the single-server DKNN method; only the server's
+// interior differs.
+type Method struct {
+	cfg    core.Config
+	n      int
+	server *Server
+	agents []*core.ObjectAgent
+	qcs    []*core.QueryAgent
+}
+
+var _ sim.Method = (*Method)(nil)
+
+// NewMethod returns a DKNN method whose server runs n shards.
+func NewMethod(n int, cfg core.Config) (*Method, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: non-positive shard count %d", n)
+	}
+	return &Method{cfg: cfg, n: n}, nil
+}
+
+// Name implements sim.Method.
+func (m *Method) Name() string { return "dknn-sharded" }
+
+// Setup implements sim.Method.
+func (m *Method) Setup(env *sim.Env) error {
+	m.cfg = m.cfg.WithWorldDefault(env.World)
+	srv, err := New(m.n, m.cfg, core.ServerDeps{
+		Side:           &lockedSide{side: env.Net.ServerSide()},
+		Now:            env.Net.Now,
+		DT:             env.DT,
+		MaxObjectSpeed: env.MaxObjectSpeed,
+		MaxQuerySpeed:  env.MaxQuerySpeed,
+		LatencyTicks:   env.LatencyTicks,
+	})
+	if err != nil {
+		return err
+	}
+	m.server = srv
+	env.Net.AttachServer(srv)
+
+	m.agents = make([]*core.ObjectAgent, len(env.Objects))
+	for i := range m.agents {
+		id := model.ObjectID(i + 1)
+		idx := i
+		agent, err := core.NewObjectAgent(m.cfg, core.AgentDeps{
+			ID:   id,
+			Side: env.Net.ClientSide(id),
+			Now:  env.Net.Now,
+			Pos:  func() geo.Point { return env.Objects[idx].Pos },
+			DT:   env.DT,
+		})
+		if err != nil {
+			return err
+		}
+		m.agents[i] = agent
+		env.Net.AttachClient(id, agent)
+	}
+	m.qcs = make([]*core.QueryAgent, len(env.Queries))
+	for i := range m.qcs {
+		idx := i
+		addr := env.Queries[i].State.ID
+		qa, err := core.NewQueryAgent(m.cfg, env.Queries[i].Spec, core.QueryAgentDeps{
+			AgentDeps: core.AgentDeps{
+				ID:   addr,
+				Side: env.Net.ClientSide(addr),
+				Now:  env.Net.Now,
+				Pos:  func() geo.Point { return env.Queries[idx].State.Pos },
+				DT:   env.DT,
+			},
+			Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
+		})
+		if err != nil {
+			return err
+		}
+		m.qcs[i] = qa
+		env.Net.AttachClient(addr, qa)
+	}
+	return nil
+}
+
+// ClientTick implements sim.Method.
+func (m *Method) ClientTick(now model.Tick) {
+	for _, qc := range m.qcs {
+		qc.Tick(now)
+	}
+	for _, a := range m.agents {
+		a.Tick(now)
+	}
+}
+
+// ServerTick implements sim.Method.
+func (m *Method) ServerTick(now model.Tick) { m.server.Tick(now) }
+
+// Finalize implements sim.Method.
+func (m *Method) Finalize(now model.Tick) bool { return m.server.Finalize(now) }
+
+// Answer implements sim.Method (the focal client's view).
+func (m *Method) Answer(q model.QueryID) model.Answer {
+	qi := int(q) - 1
+	if qi < 0 || qi >= len(m.qcs) {
+		return model.Answer{Query: q}
+	}
+	return m.qcs[qi].Answer()
+}
+
+// ServerTime implements sim.Method: the parallel critical path.
+func (m *Method) ServerTime() time.Duration { return m.server.BusyTime() }

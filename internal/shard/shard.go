@@ -1,0 +1,157 @@
+// Package shard scales the DKNN server across CPU cores: queries are
+// partitioned over S independent core.Server instances ("shards"), each
+// owning the complete monitor state of its query subset. Every protocol
+// message after registration carries its query id, so routing is exact
+// and shards share nothing; the per-tick maintenance work then runs in
+// parallel.
+//
+// This is the follow-up-literature "scalable distributed processing"
+// extension: the wireless side of the protocol is unchanged (objects and
+// query clients cannot tell they talk to a sharded server), only the
+// server's interior is parallelized. Correctness is by construction —
+// each query's state machine is byte-identical to the single-server one.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dmknn/internal/core"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// Server is a query-sharded DKNN server.
+type Server struct {
+	shards []*core.Server
+}
+
+// New builds a sharded server with n shards, all configured identically.
+func New(n int, cfg core.Config, deps core.ServerDeps) (*Server, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", n)
+	}
+	s := &Server{shards: make([]*core.Server, n)}
+	for i := range s.shards {
+		srv, err := core.NewServer(cfg, deps)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = srv
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// shardFor routes a query id to its owning shard.
+func (s *Server) shardFor(q model.QueryID) *core.Server {
+	return s.shards[int(uint32(q))%len(s.shards)]
+}
+
+// HandleUplink implements transport.ServerHandler: messages route by the
+// query id they carry.
+func (s *Server) HandleUplink(from model.ObjectID, msg protocol.Message) {
+	switch v := msg.(type) {
+	case protocol.QueryRegister:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.QueryMove:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.QueryDeregister:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.ProbeReply:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.EnterReport:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.ExitReport:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.LeaveReport:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	case protocol.MoveReport:
+		s.shardFor(v.Query).HandleUplink(from, msg)
+	default:
+		// Kinds without a query id (e.g. LocationReport) are not part of
+		// this protocol; drop like the single server does.
+	}
+}
+
+// HandleClientGone implements transport.DisconnectHandler: a vanished
+// client may participate in queries of every shard.
+func (s *Server) HandleClientGone(id model.ObjectID) {
+	for _, sh := range s.shards {
+		sh.HandleClientGone(id)
+	}
+}
+
+// Tick runs every shard's periodic work in parallel.
+func (s *Server) Tick(now model.Tick) {
+	s.parallel(func(sh *core.Server) { sh.Tick(now) })
+}
+
+// Finalize runs every shard's probe conclusions in parallel; it reports
+// whether any shard still has work.
+func (s *Server) Finalize(now model.Tick) bool {
+	results := make([]bool, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *core.Server) {
+			defer wg.Done()
+			results[i] = sh.Finalize(now)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) parallel(fn func(*core.Server)) {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *core.Server) {
+			defer wg.Done()
+			fn(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// Answer returns the maintained answer for q from its owning shard.
+func (s *Server) Answer(q model.QueryID) model.Answer {
+	return s.shardFor(q).Answer(q)
+}
+
+// QueryCount returns the number of registered queries across all shards.
+func (s *Server) QueryCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.QueryCount()
+	}
+	return total
+}
+
+// BusyTime returns the *maximum* per-shard processing time — the
+// wall-clock critical path of the parallel server, which is what the
+// scaling experiment measures.
+func (s *Server) BusyTime() time.Duration {
+	var max time.Duration
+	for _, sh := range s.shards {
+		if b := sh.BusyTime(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+var (
+	_ transport.ServerHandler     = (*Server)(nil)
+	_ transport.DisconnectHandler = (*Server)(nil)
+)

@@ -1,0 +1,433 @@
+// Package sim is the slotted-time simulation engine the experiments run
+// on. One tick is one evaluation interval of the continuous queries. Each
+// tick the engine:
+//
+//  1. advances every object and query focal point with its mobility model
+//     and refreshes the ground-truth index;
+//  2. runs the method's client-side logic (object agents decide locally
+//     whether to transmit) and flushes the network;
+//  3. runs the method's server-side periodic logic and flushes again;
+//  4. lets the method finalize multi-round exchanges (probe → install)
+//     with a bounded number of additional flushes;
+//  5. audits the method's maintained answers against brute-force ground
+//     truth and samples the per-tick metric series.
+//
+// The engine is method-agnostic: the distributed protocol (internal/core)
+// and the centralized baselines (internal/baseline) implement Method and
+// are measured under identical trajectories, identical network semantics,
+// and an identical auditor.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/mobility"
+	"dmknn/internal/model"
+	"dmknn/internal/simnet"
+)
+
+// Method is one query-processing strategy under evaluation.
+type Method interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Setup wires the method into the environment: attach server and
+	// client handlers to env.Net and capture references. Called once,
+	// before the first tick.
+	Setup(env *Env) error
+	// ClientTick runs the per-tick local logic of every client (object
+	// agents and query focal clients). Sends become visible after the
+	// engine's flush.
+	ClientTick(now model.Tick)
+	// ServerTick runs the server's periodic work, after this tick's
+	// client uplinks have been delivered.
+	ServerTick(now model.Tick)
+	// Finalize completes multi-round exchanges begun this tick (e.g.
+	// computing an answer from probe replies and broadcasting the monitor
+	// install). The engine flushes after each call and calls again while
+	// it returns true.
+	Finalize(now model.Tick) bool
+	// Answer returns the method's current maintained answer for q, as the
+	// system would report it to the user right now.
+	Answer(q model.QueryID) model.Answer
+	// ServerTime returns the cumulative wall-clock time spent in
+	// server-side processing (handlers plus periodic work).
+	ServerTime() time.Duration
+}
+
+// QueryRuntime couples a query spec with the live kinematic state of its
+// focal client.
+type QueryRuntime struct {
+	Spec  model.QuerySpec
+	State model.ObjectState // State.ID is the focal client's network address
+}
+
+// Env is the environment a Method operates in. The engine owns and updates
+// Objects and Queries in place each tick; methods keep the slices and read
+// current state through them (this models each client knowing its own
+// position locally — reading a position costs nothing, transmitting it is
+// what the network meters).
+type Env struct {
+	Net      *simnet.Network
+	Geometry grid.Geometry
+	World    geo.Rect
+	// DT is the duration of one tick in seconds of simulated time.
+	DT float64
+	// LatencyTicks is the network's one-way delivery delay, which the
+	// server knows as a deployment parameter (it schedules probe-reply
+	// deadlines from it).
+	LatencyTicks int
+	// Speed bounds, used by the distributed protocol to size safe slack.
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	Objects        []model.ObjectState
+	Queries        []QueryRuntime
+}
+
+// ObjectByID returns the live state of a data object. Object ids are
+// 1..len(Objects).
+func (e *Env) ObjectByID(id model.ObjectID) *model.ObjectState {
+	return &e.Objects[int(id)-1]
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	World      geo.Rect
+	Cols, Rows int
+	// NumObjects data objects move per ObjectModel; NumQueries focal
+	// points move per QueryModel.
+	NumObjects int
+	NumQueries int
+	K          int
+	// QueryRange, when positive, makes every query a fixed-radius range
+	// monitor instead of a kNN query.
+	QueryRange float64
+	// DT is seconds of simulated time per tick.
+	DT float64
+	// Speed bounds must match (or exceed) what the mobility models
+	// produce; the distributed protocol's safety depends on them.
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	// Ticks to simulate after Warmup ticks (warmup traffic and accuracy
+	// are excluded from the reported series).
+	Ticks  int
+	Warmup int
+	// Network behavior.
+	LatencyTicks  int
+	UplinkLoss    float64
+	DownlinkLoss  float64
+	BroadcastLoss float64
+	Seed          int64
+	// ObjectModel and QueryModel construct the mobility models. They
+	// receive the seed so trajectories are reproducible.
+	ObjectModel func(seed int64) (mobility.Model, error)
+	QueryModel  func(seed int64) (mobility.Model, error)
+	// DisableAudit skips ground-truth maintenance and answer auditing
+	// (used by pure-throughput benchmarks).
+	DisableAudit bool
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.World.Width() <= 0 || c.World.Height() <= 0:
+		return fmt.Errorf("sim: degenerate world %v", c.World)
+	case c.Cols <= 0 || c.Rows <= 0:
+		return fmt.Errorf("sim: bad grid %dx%d", c.Cols, c.Rows)
+	case c.NumObjects <= 0:
+		return fmt.Errorf("sim: no objects")
+	case c.NumQueries < 0:
+		return fmt.Errorf("sim: negative query count")
+	case c.K <= 0 && c.QueryRange <= 0:
+		return fmt.Errorf("sim: non-positive k and no query range")
+	case c.QueryRange < 0:
+		return fmt.Errorf("sim: negative query range")
+	case c.DT <= 0:
+		return fmt.Errorf("sim: non-positive dt")
+	case c.Ticks <= 0:
+		return fmt.Errorf("sim: non-positive ticks")
+	case c.Warmup < 0:
+		return fmt.Errorf("sim: negative warmup")
+	case c.ObjectModel == nil || c.QueryModel == nil:
+		return fmt.Errorf("sim: mobility model constructors required")
+	}
+	return nil
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Method string
+	Config Config
+	// Per-tick series, excluding warmup.
+	Uplink    metrics.Series
+	Downlink  metrics.Series
+	Broadcast metrics.Series
+	ServerUS  metrics.Series // server processing, microseconds per tick
+	// Audit of every (query, tick) answer after warmup.
+	Audit metrics.Audit
+	// Traffic accumulated after warmup.
+	Traffic metrics.Counters
+	// Elapsed is the wall-clock duration of the measured phase.
+	Elapsed time.Duration
+}
+
+// UplinkPerTick returns the headline metric: mean uplink messages per
+// tick after warmup.
+func (r *Result) UplinkPerTick() float64 { return r.Uplink.Mean() }
+
+// DownlinkPerTick returns mean downlink+broadcast transmissions per tick.
+func (r *Result) DownlinkPerTick() float64 {
+	return r.Downlink.Mean() + r.Broadcast.Mean()
+}
+
+// maxFinalizeRounds bounds the probe/install rounds a method may take in
+// one tick before the engine declares a protocol bug.
+const maxFinalizeRounds = 12
+
+// Engine drives one (config, method) run.
+type Engine struct {
+	cfg     Config
+	method  Method
+	env     *Env
+	net     *simnet.Network
+	objMdl  mobility.Model
+	qryMdl  mobility.Model
+	queries []QueryRuntime
+	truth   *grid.Grid
+	now     model.Tick
+}
+
+// NewEngine builds the environment for cfg and calls method.Setup.
+func NewEngine(cfg Config, method Method) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	objMdl, err := cfg.ObjectModel(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: object model: %w", err)
+	}
+	qryMdl, err := cfg.QueryModel(cfg.Seed + 0x9E3779B9)
+	if err != nil {
+		return nil, fmt.Errorf("sim: query model: %w", err)
+	}
+	geom := grid.NewGeometry(cfg.World, cfg.Cols, cfg.Rows)
+	net := simnet.New(simnet.Config{
+		Geometry:      geom,
+		LatencyTicks:  cfg.LatencyTicks,
+		UplinkLoss:    cfg.UplinkLoss,
+		DownlinkLoss:  cfg.DownlinkLoss,
+		BroadcastLoss: cfg.BroadcastLoss,
+		Seed:          cfg.Seed + 0x51ED2701,
+	})
+
+	objects := objMdl.Init(cfg.NumObjects)
+	qStates := qryMdl.Init(cfg.NumQueries)
+	queries := make([]QueryRuntime, cfg.NumQueries)
+	for i := range queries {
+		addr := model.ObjectID(cfg.NumObjects + 1 + i)
+		qStates[i].ID = addr
+		queries[i] = QueryRuntime{
+			Spec: model.QuerySpec{
+				ID:    model.QueryID(i + 1),
+				K:     cfg.K,
+				Range: cfg.QueryRange,
+				Pos:   qStates[i].Pos,
+				Vel:   qStates[i].Vel,
+			},
+			State: qStates[i],
+		}
+	}
+
+	env := &Env{
+		Net:            net,
+		Geometry:       geom,
+		World:          cfg.World,
+		DT:             cfg.DT,
+		LatencyTicks:   cfg.LatencyTicks,
+		MaxObjectSpeed: cfg.MaxObjectSpeed,
+		MaxQuerySpeed:  cfg.MaxQuerySpeed,
+		Objects:        objects,
+		Queries:        queries,
+	}
+
+	e := &Engine{
+		cfg:    cfg,
+		method: method,
+		env:    env,
+		net:    net,
+		objMdl: objMdl,
+		qryMdl: qryMdl,
+	}
+
+	// The network resolves broadcast audiences from live positions of
+	// both data objects and query focal clients.
+	net.SetPositionOracle(func(id model.ObjectID) (geo.Point, bool) {
+		if n := int(id); n >= 1 && n <= len(env.Objects) {
+			return env.Objects[n-1].Pos, true
+		}
+		qi := int(id) - len(env.Objects) - 1
+		if qi >= 0 && qi < len(env.Queries) {
+			return env.Queries[qi].State.Pos, true
+		}
+		return geo.Point{}, false
+	})
+
+	if !cfg.DisableAudit {
+		e.truth = grid.New(cfg.World, cfg.Cols, cfg.Rows)
+		for _, s := range objects {
+			if err := e.truth.Insert(s.ID, s.Pos); err != nil {
+				return nil, fmt.Errorf("sim: truth index: %w", err)
+			}
+		}
+	}
+
+	if err := method.Setup(env); err != nil {
+		return nil, fmt.Errorf("sim: %s setup: %w", method.Name(), err)
+	}
+	return e, nil
+}
+
+// Env exposes the engine's environment (tests and harnesses use it).
+func (e *Engine) Env() *Env { return e.env }
+
+// Run simulates warmup + measured ticks and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{Method: e.method.Name(), Config: e.cfg}
+	total := e.cfg.Warmup + e.cfg.Ticks
+	var (
+		measuredStart time.Time
+		baseTraffic   metrics.Counters
+	)
+	for tick := 0; tick < total; tick++ {
+		if tick == e.cfg.Warmup {
+			measuredStart = time.Now()
+			baseTraffic = e.net.Counters().Snapshot()
+		}
+		prevTraffic := e.net.Counters().Snapshot()
+		prevServer := e.method.ServerTime()
+		if err := e.step(); err != nil {
+			return nil, err
+		}
+		if tick < e.cfg.Warmup {
+			continue
+		}
+		d := e.net.Counters().Diff(prevTraffic)
+		res.Uplink.Add(float64(d.Sent(metrics.Uplink)))
+		res.Downlink.Add(float64(d.Sent(metrics.Downlink)))
+		res.Broadcast.Add(float64(d.Sent(metrics.Broadcast)))
+		res.ServerUS.Add(float64((e.method.ServerTime() - prevServer).Microseconds()))
+		if !e.cfg.DisableAudit {
+			e.audit(res)
+		}
+	}
+	res.Traffic = e.net.Counters().Diff(baseTraffic)
+	res.Elapsed = time.Since(measuredStart)
+	return res, nil
+}
+
+// Step advances the simulation by one tick without collecting series or
+// auditing; tests and interactive harnesses drive the engine with it.
+func (e *Engine) Step() error { return e.step() }
+
+// Now returns the engine's current tick.
+func (e *Engine) Now() model.Tick { return e.now }
+
+// step advances the simulation by one tick.
+func (e *Engine) step() error {
+	e.now++
+	dt := e.cfg.DT
+
+	// 1. Motion.
+	e.objMdl.Step(e.env.Objects, dt)
+	qStates := make([]model.ObjectState, len(e.env.Queries))
+	for i := range e.env.Queries {
+		qStates[i] = e.env.Queries[i].State
+	}
+	e.qryMdl.Step(qStates, dt)
+	for i := range e.env.Queries {
+		e.env.Queries[i].State = qStates[i]
+	}
+	if e.truth != nil {
+		for _, s := range e.env.Objects {
+			if err := e.truth.Update(s.ID, s.Pos); err != nil {
+				return fmt.Errorf("sim: truth update: %w", err)
+			}
+		}
+	}
+
+	// 2..4. Protocol rounds.
+	e.net.SetNow(e.now)
+	e.method.ClientTick(e.now)
+	e.net.Flush()
+	e.method.ServerTick(e.now)
+	e.net.Flush()
+	for round := 0; e.method.Finalize(e.now); round++ {
+		if round == maxFinalizeRounds {
+			return fmt.Errorf("sim: %s did not quiesce at tick %d", e.method.Name(), e.now)
+		}
+		e.net.Flush()
+	}
+	return nil
+}
+
+// audit compares every query's maintained answer against ground truth.
+//
+// Ties are honored: when several objects sit at exactly the k-th distance
+// (common on lattice-like mobility), any of them is a correct k-th
+// neighbor, so an answer that differs from the truth's deterministic
+// tie-break only among tie-distance objects is audited as exact.
+func (e *Engine) audit(res *Result) {
+	for i := range e.env.Queries {
+		q := &e.env.Queries[i]
+		var truthNs []model.Neighbor
+		if q.Spec.IsRange() {
+			truthNs = e.truth.Range(geo.Circle{Center: q.State.Pos, R: q.Spec.Range}, nil)
+		} else {
+			truthNs = e.truth.KNN(q.State.Pos, q.Spec.K, nil)
+		}
+		truth := model.Answer{Query: q.Spec.ID, At: e.now, Neighbors: truthNs}
+		got := e.method.Answer(q.Spec.ID)
+		if !model.SameMembers(got, truth) && e.tieEquivalent(got, truth, q.State.Pos) {
+			got = truth
+		}
+		res.Audit.Observe(got, truth)
+	}
+}
+
+// tieEquivalent reports whether got is a valid kNN answer differing from
+// truth only in the choice among objects tied (within float tolerance) at
+// the k-th distance.
+func (e *Engine) tieEquivalent(got, truth model.Answer, q geo.Point) bool {
+	if len(got.Neighbors) != len(truth.Neighbors) {
+		return false
+	}
+	dk := truth.KthDist()
+	tol := 1e-6 + dk*1e-9
+	truthSet := truth.IDSet()
+	for _, n := range got.Neighbors {
+		if truthSet[n.ID] {
+			continue
+		}
+		p, ok := e.truth.Position(n.ID)
+		if !ok {
+			return false
+		}
+		if d := p.Dist(q); d > dk+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Run is the convenience entry point: build an engine for (cfg, method)
+// and run it.
+func Run(cfg Config, method Method) (*Result, error) {
+	e, err := NewEngine(cfg, method)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

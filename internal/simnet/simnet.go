@@ -1,0 +1,287 @@
+// Package simnet is the in-memory wireless network the experiments run
+// on. It implements the transport interfaces with exact message metering:
+// every uplink, downlink, and per-cell broadcast transmission is counted
+// and sized with the real wire codec, so simulated traffic equals what the
+// TCP deployment would send.
+//
+// Semantics:
+//
+//   - Time is the simulation tick; messages sent at tick t become
+//     deliverable at t + LatencyTicks (0 = same tick).
+//   - Flush delivers all due messages in FIFO order, including messages
+//     enqueued by handlers during the flush, until the network is
+//     quiescent. The protocol state machines guarantee quiescence; a
+//     round limit turns a violation into a loud failure.
+//   - Broadcasts are cell-granular: a region broadcast is accounted as
+//     one transmission per intersecting grid cell, and is heard by every
+//     client whose current position lies in one of those cells.
+//   - Loss is independent per recipient with configurable probability per
+//     direction, from a seeded generator: runs are reproducible.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// Config parameterizes the network.
+type Config struct {
+	// Geometry is the broadcast cell layout (shared with the server's
+	// index in practice, but only the layout is shared).
+	Geometry grid.Geometry
+	// LatencyTicks delays delivery by this many ticks. 0 means messages
+	// sent during a tick are delivered by that tick's Flush.
+	LatencyTicks int
+	// Loss probabilities per direction, in [0, 1).
+	UplinkLoss    float64
+	DownlinkLoss  float64
+	BroadcastLoss float64
+	// Seed drives the loss process.
+	Seed int64
+}
+
+type queued struct {
+	due    model.Tick
+	dir    metrics.Direction
+	from   model.ObjectID // uplink sender
+	to     model.ObjectID // downlink recipient
+	region geo.Circle     // broadcast coverage
+	msg    protocol.Message
+}
+
+// Network is the simulated medium. It is not safe for concurrent use; the
+// simulation engine drives it from one goroutine.
+type Network struct {
+	cfg      Config
+	counters metrics.Counters
+	rng      *rand.Rand
+	now      model.Tick
+
+	server  transport.ServerHandler
+	clients map[model.ObjectID]transport.ClientHandler
+	ids     []model.ObjectID // sorted client ids, for deterministic fan-out
+	idsDirt bool
+
+	positions func(model.ObjectID) (geo.Point, bool)
+
+	queue []queued
+}
+
+// New returns a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.LatencyTicks < 0 {
+		panic("simnet: negative latency")
+	}
+	for _, p := range []float64{cfg.UplinkLoss, cfg.DownlinkLoss, cfg.BroadcastLoss} {
+		if p < 0 || p >= 1 {
+			panic(fmt.Sprintf("simnet: loss probability %v outside [0,1)", p))
+		}
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		clients: make(map[model.ObjectID]transport.ClientHandler),
+	}
+}
+
+// Counters returns the live traffic counters.
+func (n *Network) Counters() *metrics.Counters { return &n.counters }
+
+// AttachServer installs the server-side uplink handler.
+func (n *Network) AttachServer(h transport.ServerHandler) { n.server = h }
+
+// AttachClient registers a client endpoint. Re-attaching an id replaces
+// its handler.
+func (n *Network) AttachClient(id model.ObjectID, h transport.ClientHandler) {
+	if _, exists := n.clients[id]; !exists {
+		n.idsDirt = true
+	}
+	n.clients[id] = h
+}
+
+// DetachClient removes a client endpoint; in-flight messages to it will be
+// dropped (and counted as such).
+func (n *Network) DetachClient(id model.ObjectID) {
+	if _, exists := n.clients[id]; exists {
+		delete(n.clients, id)
+		n.idsDirt = true
+	}
+}
+
+// SetPositionOracle installs the function the network uses to resolve
+// broadcast recipients. The oracle must reflect current client positions
+// at Flush time.
+func (n *Network) SetPositionOracle(fn func(model.ObjectID) (geo.Point, bool)) {
+	n.positions = fn
+}
+
+// SetNow advances the network clock. Flush delivers messages due at or
+// before this tick.
+func (n *Network) SetNow(t model.Tick) { n.now = t }
+
+// Now returns the network clock.
+func (n *Network) Now() model.Tick { return n.now }
+
+// ServerSide returns the sending surface for the server.
+func (n *Network) ServerSide() transport.ServerSide { return serverSide{n} }
+
+// ClientSide returns the sending surface for client id.
+func (n *Network) ClientSide(id model.ObjectID) transport.ClientSide {
+	return clientSide{n, id}
+}
+
+type serverSide struct{ n *Network }
+
+func (s serverSide) Downlink(to model.ObjectID, m protocol.Message) {
+	n := s.n
+	n.counters.RecordSend(metrics.Downlink, m.Kind(), protocol.EncodedSize(m))
+	n.queue = append(n.queue, queued{
+		due: n.now + model.Tick(n.cfg.LatencyTicks),
+		dir: metrics.Downlink, to: to, msg: m,
+	})
+}
+
+func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
+	n := s.n
+	cells := n.cfg.Geometry.CellsIntersecting(region)
+	size := protocol.EncodedSize(m)
+	// One cell-level transmission per covered cell.
+	for range cells {
+		n.counters.RecordSend(metrics.Broadcast, m.Kind(), size)
+	}
+	if len(cells) == 0 {
+		return
+	}
+	n.queue = append(n.queue, queued{
+		due: n.now + model.Tick(n.cfg.LatencyTicks),
+		dir: metrics.Broadcast, region: region, msg: m,
+	})
+}
+
+type clientSide struct {
+	n  *Network
+	id model.ObjectID
+}
+
+func (c clientSide) Uplink(m protocol.Message) {
+	n := c.n
+	n.counters.RecordSend(metrics.Uplink, m.Kind(), protocol.EncodedSize(m))
+	n.queue = append(n.queue, queued{
+		due: n.now + model.Tick(n.cfg.LatencyTicks),
+		dir: metrics.Uplink, from: c.id, msg: m,
+	})
+}
+
+// maxFlushRounds bounds handler-triggered cascades within one Flush. A
+// correct protocol quiesces in a handful of rounds; hitting the limit is a
+// protocol bug and panics loudly rather than livelocking the experiment.
+const maxFlushRounds = 64
+
+// Flush delivers every due message, including messages enqueued by
+// handlers during this flush that are also due, and returns the number of
+// deliveries performed (excluding drops).
+func (n *Network) Flush() int {
+	delivered := 0
+	for round := 0; ; round++ {
+		if round == maxFlushRounds {
+			panic("simnet: message cascade did not quiesce; protocol livelock")
+		}
+		// Partition the queue into due-now and later.
+		var due []queued
+		rest := n.queue[:0]
+		for _, q := range n.queue {
+			if q.due <= n.now {
+				due = append(due, q)
+			} else {
+				rest = append(rest, q)
+			}
+		}
+		n.queue = rest
+		if len(due) == 0 {
+			return delivered
+		}
+		for _, q := range due {
+			delivered += n.deliver(q)
+		}
+	}
+}
+
+// PendingCount returns the number of queued (not yet delivered) entries;
+// broadcasts count once regardless of audience size.
+func (n *Network) PendingCount() int { return len(n.queue) }
+
+func (n *Network) deliver(q queued) int {
+	switch q.dir {
+	case metrics.Uplink:
+		if n.server == nil || n.lose(n.cfg.UplinkLoss) {
+			n.counters.RecordDrop(metrics.Uplink)
+			return 0
+		}
+		n.counters.RecordDeliver(metrics.Uplink)
+		n.server.HandleUplink(q.from, q.msg)
+		return 1
+	case metrics.Downlink:
+		h, ok := n.clients[q.to]
+		if !ok || n.lose(n.cfg.DownlinkLoss) {
+			n.counters.RecordDrop(metrics.Downlink)
+			return 0
+		}
+		n.counters.RecordDeliver(metrics.Downlink)
+		h.HandleServerMessage(q.msg)
+		return 1
+	case metrics.Broadcast:
+		return n.deliverBroadcast(q)
+	default:
+		panic("simnet: unknown direction")
+	}
+}
+
+func (n *Network) deliverBroadcast(q queued) int {
+	if n.positions == nil {
+		panic("simnet: broadcast without a position oracle")
+	}
+	cells := n.cfg.Geometry.CellsIntersecting(q.region)
+	inCell := make(map[grid.Cell]bool, len(cells))
+	for _, c := range cells {
+		inCell[c] = true
+	}
+	delivered := 0
+	for _, id := range n.sortedIDs() {
+		pos, ok := n.positions(id)
+		if !ok || !inCell[n.cfg.Geometry.CellOf(pos)] {
+			continue
+		}
+		if n.lose(n.cfg.BroadcastLoss) {
+			n.counters.RecordDrop(metrics.Broadcast)
+			continue
+		}
+		n.counters.RecordDeliver(metrics.Broadcast)
+		n.clients[id].HandleServerMessage(q.msg)
+		delivered++
+	}
+	return delivered
+}
+
+func (n *Network) lose(p float64) bool {
+	return p > 0 && n.rng.Float64() < p
+}
+
+func (n *Network) sortedIDs() []model.ObjectID {
+	if n.idsDirt {
+		n.ids = n.ids[:0]
+		for id := range n.clients {
+			n.ids = append(n.ids, id)
+		}
+		sort.Slice(n.ids, func(i, j int) bool { return n.ids[i] < n.ids[j] })
+		n.idsDirt = false
+	}
+	return n.ids
+}

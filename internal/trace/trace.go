@@ -1,0 +1,199 @@
+// Package trace records and replays moving-object trajectories. A trace
+// fixes the exact motion of a population so that experiments can be
+// re-run bit-identically later, shared between implementations, or
+// driven from externally produced movement data (any per-tick position
+// log converts to this format).
+//
+// Format: CSV with header "tick,id,x,y,vx,vy", rows sorted by tick then
+// id, every object present at every tick from 0..T. The same format
+// cmd/tracegen emits.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/mobility"
+	"dmknn/internal/model"
+)
+
+// Trace is a recorded population movement: positions and velocities of n
+// objects over T+1 ticks (including tick 0).
+type Trace struct {
+	// frames[t][i] is object i+1's state at tick t.
+	frames [][]model.ObjectState
+}
+
+// ErrMalformed reports an unreadable trace file.
+var ErrMalformed = errors.New("trace: malformed trace")
+
+// NumObjects returns the population size.
+func (tr *Trace) NumObjects() int {
+	if len(tr.frames) == 0 {
+		return 0
+	}
+	return len(tr.frames[0])
+}
+
+// Ticks returns the number of recorded steps (frames minus one).
+func (tr *Trace) Ticks() int {
+	if len(tr.frames) == 0 {
+		return 0
+	}
+	return len(tr.frames) - 1
+}
+
+// Frame returns the population state at tick t. The returned slice is
+// shared; callers must not mutate it.
+func (tr *Trace) Frame(t int) []model.ObjectState { return tr.frames[t] }
+
+// Record runs a mobility model for the given population and horizon and
+// captures every frame.
+func Record(m mobility.Model, n, ticks int, dt float64) *Trace {
+	states := m.Init(n)
+	tr := &Trace{frames: make([][]model.ObjectState, 0, ticks+1)}
+	tr.frames = append(tr.frames, cloneStates(states))
+	for t := 0; t < ticks; t++ {
+		m.Step(states, dt)
+		tr.frames = append(tr.frames, cloneStates(states))
+	}
+	return tr
+}
+
+func cloneStates(s []model.ObjectState) []model.ObjectState {
+	out := make([]model.ObjectState, len(s))
+	copy(out, s)
+	return out
+}
+
+// WriteCSV serializes the trace in the tracegen CSV format.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintln(bw, "tick,id,x,y,vx,vy"); err != nil {
+		return err
+	}
+	for t, frame := range tr.frames {
+		for _, s := range frame {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%g,%g,%g,%g\n",
+				t, s.ID, s.Pos.X, s.Pos.Y, s.Vel.X, s.Vel.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace in the tracegen CSV format. Objects must be
+// numbered 1..n and present in every tick; ticks must be contiguous from
+// zero.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrMalformed)
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "tick,id,x,y,vx,vy" {
+		return nil, fmt.Errorf("%w: unexpected header %q", ErrMalformed, got)
+	}
+	tr := &Trace{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("%w: line %d has %d fields", ErrMalformed, line, len(fields))
+		}
+		tick, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d tick: %v", ErrMalformed, line, err)
+		}
+		id64, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d id: %v", ErrMalformed, line, err)
+		}
+		var vals [4]float64
+		for i := 0; i < 4; i++ {
+			vals[i], err = strconv.ParseFloat(fields[2+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d field %d: %v", ErrMalformed, line, 2+i, err)
+			}
+		}
+		if tick == len(tr.frames) {
+			tr.frames = append(tr.frames, nil)
+		} else if tick != len(tr.frames)-1 {
+			return nil, fmt.Errorf("%w: line %d tick %d out of order", ErrMalformed, line, tick)
+		}
+		st := model.ObjectState{
+			ID:  model.ObjectID(id64),
+			Pos: geo.Pt(vals[0], vals[1]),
+			Vel: geo.Vec(vals[2], vals[3]),
+		}
+		frame := tr.frames[tick]
+		if int(st.ID) != len(frame)+1 {
+			return nil, fmt.Errorf("%w: line %d object %d out of order (want %d)",
+				ErrMalformed, line, st.ID, len(frame)+1)
+		}
+		tr.frames[tick] = append(frame, st)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tr.frames) == 0 {
+		return nil, fmt.Errorf("%w: no frames", ErrMalformed)
+	}
+	n := len(tr.frames[0])
+	for t, frame := range tr.frames {
+		if len(frame) != n {
+			return nil, fmt.Errorf("%w: tick %d has %d objects, want %d", ErrMalformed, t, len(frame), n)
+		}
+	}
+	return tr, nil
+}
+
+// Replay is a mobility.Model that plays a recorded trace back. After the
+// trace ends the population freezes in its final frame, so longer
+// simulations degrade predictably instead of failing.
+type Replay struct {
+	trace *Trace
+	tick  int
+}
+
+// NewReplay returns a replaying model over tr.
+func NewReplay(tr *Trace) *Replay { return &Replay{trace: tr} }
+
+// Name implements mobility.Model.
+func (r *Replay) Name() string { return "trace-replay" }
+
+// Init implements mobility.Model. n must not exceed the trace population;
+// a smaller n replays the first n objects.
+func (r *Replay) Init(n int) []model.ObjectState {
+	if n > r.trace.NumObjects() {
+		panic(fmt.Sprintf("trace: replay of %d objects from a %d-object trace",
+			n, r.trace.NumObjects()))
+	}
+	r.tick = 0
+	return cloneStates(r.trace.frames[0][:n])
+}
+
+// Step implements mobility.Model; dt is ignored (the trace fixes the
+// cadence).
+func (r *Replay) Step(states []model.ObjectState, dt float64) {
+	if r.tick < r.trace.Ticks() {
+		r.tick++
+	}
+	frame := r.trace.frames[r.tick]
+	for i := range states {
+		states[i] = frame[i]
+	}
+}
+
+var _ mobility.Model = (*Replay)(nil)

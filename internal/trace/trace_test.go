@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/mobility"
+	"dmknn/internal/model"
+)
+
+func recordSample(t *testing.T, n, ticks int) *Trace {
+	t.Helper()
+	m, err := mobility.NewRandomWaypoint(mobility.Config{
+		World:    geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)),
+		MinSpeed: 2, MaxSpeed: 10, Seed: 5,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Record(m, n, ticks, 1)
+}
+
+func TestRecordShape(t *testing.T) {
+	tr := recordSample(t, 7, 12)
+	if tr.NumObjects() != 7 {
+		t.Errorf("NumObjects = %d", tr.NumObjects())
+	}
+	if tr.Ticks() != 12 {
+		t.Errorf("Ticks = %d", tr.Ticks())
+	}
+	if len(tr.Frame(0)) != 7 || len(tr.Frame(12)) != 7 {
+		t.Error("frames wrong size")
+	}
+	// Frames are snapshots, not aliases: consecutive frames differ.
+	same := 0
+	for i := range tr.Frame(0) {
+		if tr.Frame(0)[i].Pos == tr.Frame(12)[i].Pos {
+			same++
+		}
+	}
+	if same == 7 {
+		t.Error("no motion recorded")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := recordSample(t, 5, 9)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumObjects() != 5 || got.Ticks() != 9 {
+		t.Fatalf("round trip shape: %d objects, %d ticks", got.NumObjects(), got.Ticks())
+	}
+	for tick := 0; tick <= 9; tick++ {
+		want := tr.Frame(tick)
+		have := got.Frame(tick)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("tick %d object %d: %+v != %+v", tick, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                               // empty
+		"wrong,header\n",                 // header
+		"tick,id,x,y,vx,vy\n1,1,0,0,0,0", // tick 1 before tick 0
+		"tick,id,x,y,vx,vy\n0,2,0,0,0,0", // object 2 before 1
+		"tick,id,x,y,vx,vy\n0,1,0,0,0",   // field count
+		"tick,id,x,y,vx,vy\n0,x,0,0,0,0", // bad id
+		"tick,id,x,y,vx,vy\n0,1,a,0,0,0", // bad float
+		"tick,id,x,y,vx,vy\n0,1,0,0,0,0\n1,1,0,0,0,0\n1,2,0,0,0,0", // ragged frames
+		"tick,id,x,y,vx,vy\n", // no frames
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReplayMatchesRecording(t *testing.T) {
+	tr := recordSample(t, 6, 15)
+	rp := NewReplay(tr)
+	if rp.Name() == "" {
+		t.Error("empty name")
+	}
+	states := rp.Init(6)
+	for i := range states {
+		if states[i] != tr.Frame(0)[i] {
+			t.Fatalf("Init frame mismatch at %d", i)
+		}
+	}
+	for tick := 1; tick <= 15; tick++ {
+		rp.Step(states, 1)
+		for i := range states {
+			if states[i] != tr.Frame(tick)[i] {
+				t.Fatalf("tick %d object %d mismatch", tick, i)
+			}
+		}
+	}
+	// Past the end: frozen, no panic.
+	final := append([]model.ObjectState(nil), states...)
+	rp.Step(states, 1)
+	for i := range states {
+		if states[i] != final[i] {
+			t.Fatal("population moved past the end of the trace")
+		}
+	}
+}
+
+func TestReplaySubsetAndOversize(t *testing.T) {
+	tr := recordSample(t, 6, 5)
+	rp := NewReplay(tr)
+	states := rp.Init(3)
+	if len(states) != 3 {
+		t.Fatalf("subset init = %d", len(states))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize replay did not panic")
+		}
+	}()
+	rp.Init(7)
+}

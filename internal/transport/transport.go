@@ -1,0 +1,69 @@
+// Package transport defines the sending surfaces the protocol logic is
+// written against, decoupling the query-processing state machines in
+// internal/core and internal/baseline from the medium that carries their
+// messages.
+//
+// Two media implement these interfaces:
+//
+//   - internal/simnet: the metered in-memory network the experiments run
+//     on, with configurable latency and loss;
+//   - internal/nettcp: a real length-prefixed TCP transport for
+//     deployments.
+//
+// Send methods do not return errors: the protocol state machines are
+// designed to tolerate message loss (that is the point of the epoch and
+// fallback machinery), so delivery failure is a metered event of the
+// medium, not a control-flow branch of the protocol.
+package transport
+
+import (
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// ServerSide is the sending surface available to a query server.
+type ServerSide interface {
+	// Downlink sends one unicast message to a specific client.
+	Downlink(to model.ObjectID, m protocol.Message)
+	// Broadcast sends a message to every client inside the grid cells
+	// intersecting the region.
+	Broadcast(region geo.Circle, m protocol.Message)
+}
+
+// ClientSide is the sending surface available to one mobile client.
+type ClientSide interface {
+	// Uplink sends one unicast message to the server.
+	Uplink(m protocol.Message)
+}
+
+// ServerHandler consumes uplinks at the server.
+type ServerHandler interface {
+	HandleUplink(from model.ObjectID, m protocol.Message)
+}
+
+// DisconnectHandler is optionally implemented by a ServerHandler on
+// connection-oriented media: the transport reports that a client is gone
+// (connection closed or replaced) so the server can purge its state —
+// e.g. drop the object from answers, or tear down the queries of a
+// vanished focal client. Wireless-style media never call it.
+type DisconnectHandler interface {
+	HandleClientGone(id model.ObjectID)
+}
+
+// ClientHandler consumes downlinks and broadcasts at one client.
+type ClientHandler interface {
+	HandleServerMessage(m protocol.Message)
+}
+
+// ServerHandlerFunc adapts a function to ServerHandler.
+type ServerHandlerFunc func(from model.ObjectID, m protocol.Message)
+
+// HandleUplink implements ServerHandler.
+func (f ServerHandlerFunc) HandleUplink(from model.ObjectID, m protocol.Message) { f(from, m) }
+
+// ClientHandlerFunc adapts a function to ClientHandler.
+type ClientHandlerFunc func(m protocol.Message)
+
+// HandleServerMessage implements ClientHandler.
+func (f ClientHandlerFunc) HandleServerMessage(m protocol.Message) { f(m) }

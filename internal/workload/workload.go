@@ -1,0 +1,162 @@
+// Package workload defines the experiment scenarios: named presets of the
+// simulation configuration matching the reconstructed evaluation setup in
+// DESIGN.md, plus the mobility-model factories the sweeps select from.
+package workload
+
+import (
+	"fmt"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/mobility"
+	"dmknn/internal/sim"
+)
+
+// Mobility model kind names accepted by ModelFactory.
+const (
+	ModelWaypoint  = "waypoint"
+	ModelDirection = "direction"
+	ModelManhattan = "manhattan"
+	ModelHotspot   = "hotspot"
+)
+
+// ModelFactory returns a seed-parameterized constructor for the named
+// mobility model over the given world and speed range.
+//
+// Model-specific shape parameters are fixed to the evaluation defaults:
+// no pause for waypoint, 15-tick mean legs for direction, 500 m blocks
+// with 30% turn probability for manhattan, and for hotspot five Gaussian
+// clusters with σ = world-width/40 plus a 10% uniform background.
+func ModelFactory(kind string, world geo.Rect, vmin, vmax float64) (func(seed int64) (mobility.Model, error), error) {
+	cfg := func(seed int64) mobility.Config {
+		return mobility.Config{World: world, MinSpeed: vmin, MaxSpeed: vmax, Seed: seed}
+	}
+	switch kind {
+	case ModelWaypoint:
+		return func(seed int64) (mobility.Model, error) {
+			return mobility.NewRandomWaypoint(cfg(seed), 0)
+		}, nil
+	case ModelDirection:
+		return func(seed int64) (mobility.Model, error) {
+			return mobility.NewRandomDirection(cfg(seed), 15)
+		}, nil
+	case ModelManhattan:
+		return func(seed int64) (mobility.Model, error) {
+			return mobility.NewManhattan(cfg(seed), 500, 0.3)
+		}, nil
+	case ModelHotspot:
+		return func(seed int64) (mobility.Model, error) {
+			return mobility.NewHotspot(cfg(seed), 5, world.Width()/40, 0.1)
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown mobility model %q", kind)
+	}
+}
+
+// mustFactory is ModelFactory for the known-good built-in kinds.
+func mustFactory(kind string, world geo.Rect, vmin, vmax float64) func(seed int64) (mobility.Model, error) {
+	f, err := ModelFactory(kind, world, vmin, vmax)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Default returns the headline experiment configuration from DESIGN.md:
+// 10 km × 10 km world, 64×64 grid, 20 000 objects, 64 queries, k = 10,
+// both populations random-waypoint at up to 20 m/s, 400 measured ticks
+// after a 50-tick warmup.
+func Default() sim.Config {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000))
+	return sim.Config{
+		World:          world,
+		Cols:           64,
+		Rows:           64,
+		NumObjects:     20000,
+		NumQueries:     64,
+		K:              10,
+		DT:             1,
+		MaxObjectSpeed: 20,
+		MaxQuerySpeed:  20,
+		Ticks:          400,
+		Warmup:         50,
+		Seed:           1,
+		ObjectModel:    mustFactory(ModelWaypoint, world, 5, 20),
+		QueryModel:     mustFactory(ModelWaypoint, world, 5, 20),
+	}
+}
+
+// Quick returns a small configuration suitable for unit tests, examples,
+// and smoke benchmarks: 1 km × 1 km world, 16×16 grid, 600 objects, 8
+// queries, k = 5, 120 measured ticks after a 10-tick warmup. Speeds are
+// scaled down with the world so the safety slack stays a small fraction
+// of it.
+func Quick() sim.Config {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	return sim.Config{
+		World:          world,
+		Cols:           16,
+		Rows:           16,
+		NumObjects:     600,
+		NumQueries:     8,
+		K:              5,
+		DT:             1,
+		MaxObjectSpeed: 10,
+		MaxQuerySpeed:  10,
+		Ticks:          120,
+		Warmup:         10,
+		Seed:           1,
+		ObjectModel:    mustFactory(ModelWaypoint, world, 2, 10),
+		QueryModel:     mustFactory(ModelWaypoint, world, 2, 10),
+	}
+}
+
+// WithObjects returns cfg resized to n objects.
+func WithObjects(cfg sim.Config, n int) sim.Config {
+	cfg.NumObjects = n
+	return cfg
+}
+
+// WithQueries returns cfg resized to q queries.
+func WithQueries(cfg sim.Config, q int) sim.Config {
+	cfg.NumQueries = q
+	return cfg
+}
+
+// WithK returns cfg with the kNN parameter set to k.
+func WithK(cfg sim.Config, k int) sim.Config {
+	cfg.K = k
+	return cfg
+}
+
+// WithObjectSpeed returns cfg with the object speed range set to
+// [vmax/4, vmax] and the protocol speed bound to vmax.
+func WithObjectSpeed(cfg sim.Config, vmax float64) sim.Config {
+	cfg.MaxObjectSpeed = vmax
+	cfg.ObjectModel = mustFactory(ModelWaypoint, cfg.World, vmax/4, vmax)
+	return cfg
+}
+
+// WithQuerySpeed returns cfg with the query speed range set to
+// [vmax/4, vmax] (or pinned stationary for vmax == 0) and the protocol
+// speed bound to vmax.
+func WithQuerySpeed(cfg sim.Config, vmax float64) sim.Config {
+	cfg.MaxQuerySpeed = vmax
+	lo := vmax / 4
+	cfg.QueryModel = mustFactory(ModelWaypoint, cfg.World, lo, vmax)
+	return cfg
+}
+
+// WithMobility returns cfg with both populations using the named model.
+func WithMobility(cfg sim.Config, kind string) (sim.Config, error) {
+	of, err := ModelFactory(kind, cfg.World, cfg.MaxObjectSpeed/4, cfg.MaxObjectSpeed)
+	if err != nil {
+		return cfg, err
+	}
+	qf, err := ModelFactory(kind, cfg.World, cfg.MaxQuerySpeed/4, cfg.MaxQuerySpeed)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.ObjectModel = of
+	cfg.QueryModel = qf
+	return cfg, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"dmknn/internal/geo"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default invalid: %v", err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Errorf("Quick invalid: %v", err)
+	}
+}
+
+func TestModelFactoryKinds(t *testing.T) {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	for _, kind := range []string{ModelWaypoint, ModelDirection, ModelManhattan} {
+		f, err := ModelFactory(kind, world, 1, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		m, err := f(1)
+		if err != nil {
+			t.Fatalf("%s construct: %v", kind, err)
+		}
+		if m.Name() == "" {
+			t.Errorf("%s: empty model name", kind)
+		}
+	}
+	if _, err := ModelFactory("bogus", world, 1, 5); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	cfg := Quick()
+	if got := WithObjects(cfg, 1234).NumObjects; got != 1234 {
+		t.Errorf("WithObjects = %d", got)
+	}
+	if got := WithQueries(cfg, 99).NumQueries; got != 99 {
+		t.Errorf("WithQueries = %d", got)
+	}
+	if got := WithK(cfg, 42).K; got != 42 {
+		t.Errorf("WithK = %d", got)
+	}
+	sp := WithObjectSpeed(cfg, 40)
+	if sp.MaxObjectSpeed != 40 {
+		t.Errorf("WithObjectSpeed bound = %v", sp.MaxObjectSpeed)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Errorf("speed-modified config invalid: %v", err)
+	}
+	qs := WithQuerySpeed(cfg, 0)
+	if qs.MaxQuerySpeed != 0 {
+		t.Errorf("WithQuerySpeed bound = %v", qs.MaxQuerySpeed)
+	}
+	if err := qs.Validate(); err != nil {
+		t.Errorf("stationary-query config invalid: %v", err)
+	}
+	mb, err := WithMobility(cfg, ModelManhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Validate(); err != nil {
+		t.Errorf("mobility-modified config invalid: %v", err)
+	}
+	if _, err := WithMobility(cfg, "bogus"); err == nil {
+		t.Error("bogus mobility accepted")
+	}
+	// Builders must not mutate the original.
+	if cfg.NumObjects != Quick().NumObjects {
+		t.Error("builder mutated input config")
+	}
+}
+
+func TestModifiedConfigsConstructModels(t *testing.T) {
+	cfg := WithObjectSpeed(Quick(), 40)
+	m, err := cfg.ObjectModel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := m.Init(10)
+	if len(states) != 10 {
+		t.Fatal("Init failed")
+	}
+}
