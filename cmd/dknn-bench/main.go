@@ -5,22 +5,57 @@
 // Usage:
 //
 //	dknn-bench [-profile full|smoke] [-only fig5,table3] [-markdown]
+//	           [-workers N] [-json out.json]
 //
 // The full profile is paper-scale (tens of thousands of objects; expect
 // minutes per experiment). The smoke profile runs the same grid at unit
 // scale in seconds.
+//
+// -workers sets the experiment runner's worker-pool size (0 = one worker
+// per core). Every (method × sweep-point × seed) cell is an independent
+// seeded simulation, so the tables are byte-identical for every worker
+// count; experiments that measure wall-clock quantities (fig10, fig13,
+// fig14, fig15, fig16) are declared Serial and always run their cells
+// one at a time so sibling runs cannot perturb their timings.
+//
+// -json additionally writes a machine-readable report — per-experiment
+// wall-clock, the worker count used, and host parallelism — which is how
+// the checked-in BENCH_PR1.json baselines were produced.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"dmknn/internal/exp"
 )
+
+// expTiming is one experiment's entry in the -json report.
+type expTiming struct {
+	ID      string  `json:"id"`
+	Serial  bool    `json:"serial"`
+	Seconds float64 `json:"seconds"`
+}
+
+// report is the -json output: enough to compare suite wall-clock across
+// worker counts and machines.
+type report struct {
+	Profile         string      `json:"profile"`
+	Workers         int         `json:"workers"`
+	GoMaxProcs      int         `json:"gomaxprocs"`
+	NumCPU          int         `json:"num_cpu"`
+	Seeds           int         `json:"seeds"`
+	Experiments     []expTiming `json:"experiments"`
+	ParallelSeconds float64     `json:"parallel_seconds"` // non-Serial experiments
+	SerialSeconds   float64     `json:"serial_seconds"`   // Serial experiments
+	TotalSeconds    float64     `json:"total_seconds"`
+}
 
 func main() {
 	profileName := flag.String("profile", "smoke", "experiment scale: full or smoke")
@@ -28,6 +63,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
 	seeds := flag.Int("seeds", 1, "repetitions per cell with distinct workload seeds (mean reported)")
+	workers := flag.Int("workers", 0, "worker pool size for experiment cells (0 = GOMAXPROCS; Serial experiments ignore it)")
+	jsonPath := flag.String("json", "", "also write a machine-readable timing report to this file")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -47,6 +84,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dknn-bench: unknown profile %q (want full or smoke)\n", *profileName)
 		os.Exit(2)
 	}
+	profile.Workers = *workers
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -56,7 +94,15 @@ func main() {
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
 
-	fmt.Printf("# dknn-bench profile=%s\n\n", *profileName)
+	rep := report{
+		Profile:    *profileName,
+		Workers:    *workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seeds:      *seeds,
+	}
+
+	fmt.Printf("# dknn-bench profile=%s workers=%d\n\n", *profileName, *workers)
 	for _, e := range exp.Suite(profile) {
 		if !selected(e.ID) {
 			continue
@@ -68,6 +114,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dknn-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		if *markdown {
 			fmt.Println(table.Markdown())
 		} else {
@@ -80,14 +127,41 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		rep.Experiments = append(rep.Experiments, expTiming{
+			ID: e.ID, Serial: e.Serial, Seconds: elapsed.Seconds(),
+		})
+		if e.Serial {
+			rep.SerialSeconds += elapsed.Seconds()
+		} else {
+			rep.ParallelSeconds += elapsed.Seconds()
+		}
+		rep.TotalSeconds += elapsed.Seconds()
 	}
 	if selected("table2") {
+		start := time.Now()
 		out, err := profile.RunTable2()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dknn-bench: table2: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		elapsed := time.Since(start)
+		rep.Experiments = append(rep.Experiments, expTiming{
+			ID: "table2", Serial: true, Seconds: elapsed.Seconds(),
+		})
+		rep.SerialSeconds += elapsed.Seconds()
+		rep.TotalSeconds += elapsed.Seconds()
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

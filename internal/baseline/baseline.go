@@ -313,6 +313,10 @@ type centralServer struct {
 	tracks  map[model.ObjectID]track
 	queries map[model.QueryID]*centralQuery
 	order   []model.QueryID
+	// scratch is the reusable result buffer for index searches: the
+	// per-tick evaluation copies what it sends, so the buffer can be
+	// recycled across queries and ticks.
+	scratch []model.Neighbor
 }
 
 func newCentralServer(m *Method, side transport.ServerSide) (*centralServer, error) {
@@ -410,9 +414,12 @@ func (s *centralServer) tick(now model.Tick) {
 		qhat := geo.DeadReckon(q.qpos, q.qvel, float64(now-q.qat)*dt)
 		var ns []model.Neighbor
 		if q.spec.IsRange() {
-			ns = s.index.Range(geo.Circle{Center: qhat, R: q.spec.Range}, nil)
+			ns = s.index.Range(geo.Circle{Center: qhat, R: q.spec.Range}, nil, s.scratch[:0])
 		} else {
-			ns = s.index.KNN(qhat, q.spec.K, nil)
+			ns = s.index.KNN(qhat, q.spec.K, nil, s.scratch[:0])
+		}
+		if cap(ns) > cap(s.scratch) {
+			s.scratch = ns
 		}
 		changed := len(ns) != len(q.sent)
 		if !changed {

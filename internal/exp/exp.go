@@ -11,8 +11,11 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dmknn/internal/baseline"
 	"dmknn/internal/core"
@@ -92,6 +95,16 @@ type Experiment struct {
 	// reports the mean, which removes single-trajectory noise from the
 	// tables.
 	Seeds int
+	// Workers bounds the worker pool the (method × point × seed) cells
+	// run on: 0 means runtime.GOMAXPROCS, 1 runs the cells inline.
+	// Every cell is an independent sim.Run with its own seeded RNGs, so
+	// the rendered table is byte-identical for every worker count.
+	Workers int
+	// Serial forces the cells to run one at a time regardless of
+	// Workers. Experiments that report wall-clock quantities
+	// (sim.Result.ServerUS, Elapsed) declare it so sibling runs on
+	// other cores cannot perturb their timings.
+	Serial bool
 }
 
 // Table is a rendered experiment result.
@@ -109,8 +122,13 @@ type Row struct {
 	Values []float64
 }
 
-// Run executes every cell of the experiment. Cells run sequentially so
-// that per-run timing metrics are not perturbed by sibling runs.
+// Run executes every (point × method × seed) cell of the experiment on a
+// bounded worker pool and aggregates the results in enumeration order.
+// Each cell is a fully independent sim.Run — it builds its own method
+// instance and derives its own config seed — so the returned table is
+// byte-identical to a sequential execution for every worker count.
+// Serial experiments (and Workers == 1) keep the cells strictly
+// sequential so wall-clock metrics are not perturbed by sibling runs.
 func (e *Experiment) Run() (*Table, error) {
 	t := &Table{ID: e.ID, Title: e.Title, XLabel: e.XLabel}
 	for _, m := range e.Methods {
@@ -126,24 +144,78 @@ func (e *Experiment) Run() (*Table, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	for _, pt := range e.Points {
-		row := Row{Label: pt.Label}
-		for _, m := range e.Methods {
+
+	// Cell ci = ((pi × methods) + mi) × seeds + rep.
+	nM := len(e.Methods)
+	cells := len(e.Points) * nM * seeds
+	values := make([][]float64, cells) // metric values per cell
+	errs := make([]error, cells)
+	var failed atomic.Bool
+	runCell := func(ci int) {
+		rep := ci % seeds
+		mi := ci / seeds % nM
+		pi := ci / seeds / nM
+		m, pt := e.Methods[mi], e.Points[pi]
+		method, err := m.Build()
+		if err != nil {
+			errs[ci] = fmt.Errorf("exp %s: build %s: %w", e.ID, m.Name, err)
+			failed.Store(true)
+			return
+		}
+		cfg := pt.Config
+		cfg.Seed += int64(rep) * 1000003
+		res, err := sim.Run(cfg, method)
+		if err != nil {
+			errs[ci] = fmt.Errorf("exp %s: run %s @ %s: %w", e.ID, m.Name, pt.Label, err)
+			failed.Store(true)
+			return
+		}
+		vals := make([]float64, len(e.Metrics))
+		for i, metric := range e.Metrics {
+			vals[i] = metric.Fn(res)
+		}
+		values[ci] = vals
+	}
+
+	if workers := e.workers(cells); workers <= 1 {
+		for ci := 0; ci < cells && !failed.Load(); ci++ {
+			runCell(ci)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= cells || failed.Load() {
+						return
+					}
+					runCell(ci)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Aggregate in enumeration order: mean over seeds per (point, method).
+	ci := 0
+	for pi := range e.Points {
+		row := Row{Label: e.Points[pi].Label}
+		for mi := 0; mi < nM; mi++ {
 			sums := make([]float64, len(e.Metrics))
 			for rep := 0; rep < seeds; rep++ {
-				method, err := m.Build()
-				if err != nil {
-					return nil, fmt.Errorf("exp %s: build %s: %w", e.ID, m.Name, err)
+				for i, v := range values[ci] {
+					sums[i] += v
 				}
-				cfg := pt.Config
-				cfg.Seed += int64(rep) * 1000003
-				res, err := sim.Run(cfg, method)
-				if err != nil {
-					return nil, fmt.Errorf("exp %s: run %s @ %s: %w", e.ID, m.Name, pt.Label, err)
-				}
-				for i, metric := range e.Metrics {
-					sums[i] += metric.Fn(res)
-				}
+				ci++
 			}
 			for i := range sums {
 				row.Values = append(row.Values, sums[i]/float64(seeds))
@@ -152,6 +224,21 @@ func (e *Experiment) Run() (*Table, error) {
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// workers resolves the effective worker-pool size for this experiment.
+func (e *Experiment) workers(cells int) int {
+	if e.Serial {
+		return 1
+	}
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	return w
 }
 
 // Render formats the table as fixed-width text.
@@ -173,13 +260,15 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// Markdown formats the table as a GitHub-flavored markdown table.
+// Markdown formats the table as a GitHub-flavored markdown table. Pipes
+// in labels and method names (e.g. a method named "A|B") are escaped so
+// they cannot break the cell structure.
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
-	fmt.Fprintf(&b, "| %s |", t.XLabel)
+	fmt.Fprintf(&b, "| %s |", mdEscape(t.XLabel))
 	for _, c := range t.Columns {
-		fmt.Fprintf(&b, " %s |", c)
+		fmt.Fprintf(&b, " %s |", mdEscape(c))
 	}
 	b.WriteString("\n|---|")
 	for range t.Columns {
@@ -187,13 +276,23 @@ func (t *Table) Markdown() string {
 	}
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| %s |", r.Label)
+		fmt.Fprintf(&b, "| %s |", mdEscape(r.Label))
 		for _, v := range r.Values {
 			fmt.Fprintf(&b, " %.2f |", v)
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// mdEscape neutralizes characters that would break a markdown table
+// cell: pipes are backslash-escaped and newlines become spaces.
+func mdEscape(s string) string {
+	if !strings.ContainsAny(s, "|\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return strings.ReplaceAll(s, "\n", " ")
 }
 
 // CSV formats the table as comma-separated values with a header row.
@@ -248,6 +347,10 @@ type Profile struct {
 	Base  sim.Config
 	Proto core.Config
 	CITau float64
+	// Workers is the worker-pool size Suite stamps onto every
+	// experiment (0 = runtime.GOMAXPROCS). Experiments that measure
+	// wall-clock quantities declare Serial and ignore it.
+	Workers int
 	// CBTau, when positive, adds the predictive dead-reckoning baseline
 	// to every comparison (an extension beyond the paper's own two
 	// baselines).
@@ -322,9 +425,11 @@ func (p Profile) methods() []MethodSpec {
 	return append(ms, DKNN(p.Proto))
 }
 
-// Suite builds every experiment in the reconstructed evaluation.
+// Suite builds every experiment in the reconstructed evaluation, with
+// p.Workers stamped onto each one (Serial experiments keep their
+// sequential execution regardless).
 func Suite(p Profile) []*Experiment {
-	return []*Experiment{
+	es := []*Experiment{
 		p.Fig5ObjectScaling(),
 		p.Fig6VaryK(),
 		p.Fig7ObjectSpeed(),
@@ -341,6 +446,10 @@ func Suite(p Profile) []*Experiment {
 		p.Table3Accuracy(),
 		p.Table4Mobility(),
 	}
+	for _, e := range es {
+		e.Workers = p.Workers
+	}
+	return es
 }
 
 // Fig5ObjectScaling: uplink/tick vs object population.
@@ -408,6 +517,9 @@ func (p Profile) Fig10ServerCPU() *Experiment {
 	e := &Experiment{
 		ID: "fig10", Title: "Server processing time per tick vs number of objects",
 		XLabel: "N", Methods: p.methods(), Metrics: []Metric{MetricServer},
+		// Wall-clock metric: parallel sibling cells would contend for
+		// cores and distort it.
+		Serial: true,
 	}
 	for _, n := range p.Ns {
 		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
@@ -456,6 +568,7 @@ func (p Profile) Fig13GridResolution() *Experiment {
 		XLabel:  "grid",
 		Methods: []MethodSpec{CP(), DKNN(p.Proto)},
 		Metrics: []Metric{MetricUplink, MetricDown, MetricServer},
+		Serial:  true, // reports MetricServer (wall-clock)
 	}
 	base := p.Base
 	for _, g := range p.Grids {
@@ -481,6 +594,7 @@ func (p Profile) Fig14IndexAblation() *Experiment {
 		XLabel:  "N",
 		Methods: []MethodSpec{mkCP("grid"), mkCP("rtree")},
 		Metrics: []Metric{MetricServer, MetricExact},
+		Serial:  true, // reports MetricServer (wall-clock)
 	}
 	for _, n := range p.Ns {
 		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
@@ -503,6 +617,7 @@ func (p Profile) Fig15Skew() *Experiment {
 		XLabel:  "population",
 		Methods: []MethodSpec{mkCP("grid"), mkCP("rtree"), DKNN(p.Proto)},
 		Metrics: []Metric{MetricUplink, MetricServer},
+		Serial:  true, // reports MetricServer (wall-clock)
 	}
 	for _, kind := range []string{workload.ModelWaypoint, workload.ModelHotspot} {
 		cfg, err := workload.WithMobility(p.Base, kind)
@@ -529,6 +644,9 @@ func (p Profile) Fig16ShardScaling() *Experiment {
 		ID: "fig16", Title: "Server critical path vs shard count (ablation)",
 		XLabel:  "Q",
 		Metrics: []Metric{MetricServer, MetricExact},
+		// Wall-clock metric, and the sharded server already runs its
+		// shards on parallel goroutines inside each cell.
+		Serial: true,
 	}
 	for _, n := range p.Shards {
 		e.Methods = append(e.Methods, mkShard(n))

@@ -180,6 +180,140 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// CSV escaping: commas and quotes in method names and row labels must be
+// quoted per RFC 4180, and embedded newlines kept inside quotes.
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := &Table{
+		ID: "figY", Title: "escape", XLabel: "x",
+		Columns: []string{`CI(τ=50), strict`, "plain", "multi\nline"},
+		Rows: []Row{
+			{Label: `say "hi"`, Values: []float64{1, 2, 3}},
+			{Label: "a,b", Values: []float64{4, 5, 6}},
+		},
+	}
+	csv := tbl.CSV()
+	want := "x,\"CI(τ=50), strict\",plain,\"multi\nline\"\n" +
+		"\"say \"\"hi\"\"\",1,2,3\n" +
+		"\"a,b\",4,5,6\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+// Markdown escaping: a pipe in a method name or label must not open a
+// spurious cell; newlines must not break the row.
+func TestTableMarkdownEscaping(t *testing.T) {
+	tbl := &Table{
+		ID: "figZ", Title: "escape", XLabel: "a|b",
+		Columns: []string{"CP|strict", "DKNN"},
+		Rows: []Row{
+			{Label: "x|y", Values: []float64{1, 2}},
+			{Label: "two\nlines", Values: []float64{3, 4}},
+		},
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{`| a\|b |`, `| CP\|strict |`, `| x\|y |`, "| two lines |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Every row must have exactly columns+1 pipes... i.e. the unescaped
+	// pipe count per line is fixed.
+	for _, line := range strings.Split(strings.TrimSpace(md), "\n")[2:] {
+		bare := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|")
+		if bare != len(tbl.Columns)+2 {
+			t.Errorf("row %q has %d cell separators, want %d", line, bare, len(tbl.Columns)+2)
+		}
+	}
+}
+
+// Build and run errors must surface from the parallel pool too.
+func TestBuildErrorsPropagateParallel(t *testing.T) {
+	e := &Experiment{
+		ID: "bad", Title: "bad", XLabel: "x",
+		Points:  []Point{{"p", tiny().Base}, {"q", tiny().Base}},
+		Methods: []MethodSpec{{Name: "broken", Build: func() (sim.Method, error) { return nil, errBoom }}},
+		Metrics: []Metric{MetricUplink},
+		Workers: 4,
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("build error swallowed by parallel runner")
+	}
+}
+
+// The parallel runner must be invisible in the output: for every
+// experiment in the suite, the rendered tables at Workers 1 and
+// Workers 8 are byte-identical (each cell is an independent seeded
+// run, and aggregation happens in enumeration order).
+func TestParallelRunDeterministic(t *testing.T) {
+	p := tiny()
+	for i, build := range []func() *Experiment{
+		p.Fig5ObjectScaling, // single metric, multi-method
+		p.Fig12SlackAblation, // methods encode the sweep
+		p.Table3Accuracy,     // multi-metric columns
+		p.Fig17LossRobustness,
+	} {
+		e := build()
+		e.Seeds = 2
+		e.Workers = 1
+		seq, err := e.Run()
+		if err != nil {
+			t.Fatalf("case %d serial: %v", i, err)
+		}
+		e.Workers = 8
+		par, err := e.Run()
+		if err != nil {
+			t.Fatalf("case %d parallel: %v", i, err)
+		}
+		if seq.Render() != par.Render() {
+			t.Errorf("case %d (%s): parallel Render differs\n--- workers=1\n%s--- workers=8\n%s",
+				i, e.ID, seq.Render(), par.Render())
+		}
+		if seq.CSV() != par.CSV() {
+			t.Errorf("case %d (%s): parallel CSV differs", i, e.ID)
+		}
+	}
+}
+
+// Timing-sensitive experiments must declare Serial so the pool cannot
+// perturb their wall-clock metrics, and Suite must stamp the profile's
+// worker knob onto everything else.
+func TestSerialExperimentsAndWorkerStamp(t *testing.T) {
+	p := tiny()
+	p.Workers = 3
+	serialIDs := map[string]bool{
+		"fig10": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
+	}
+	for _, e := range Suite(p) {
+		if e.Serial != serialIDs[e.ID] {
+			t.Errorf("%s: Serial = %v, want %v", e.ID, e.Serial, serialIDs[e.ID])
+		}
+		if e.Workers != 3 {
+			t.Errorf("%s: Workers = %d, want 3", e.ID, e.Workers)
+		}
+		if !e.Serial {
+			// No parallel experiment may report the wall-clock server
+			// metric — that is exactly what Serial protects.
+			for _, m := range e.Metrics {
+				if m.Name == MetricServer.Name {
+					t.Errorf("%s: parallel experiment reports %s", e.ID, m.Name)
+				}
+			}
+		}
+	}
+}
+
+// A worker pool far larger than the cell count must degrade gracefully.
+func TestWorkersExceedCells(t *testing.T) {
+	p := tiny()
+	e := p.Fig6VaryK()
+	e.Points = e.Points[:1]
+	e.Workers = 64
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Seeds > 1 averages over distinct workloads: the averaged value lies
 // within the range of the individual runs, and single-seed equals the
 // plain run.

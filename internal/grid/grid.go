@@ -15,8 +15,11 @@
 //     distributed protocol to address cell-granular broadcasts in
 //     expanding rings.
 //
-// The index is not safe for concurrent mutation; the simulation engine and
-// the TCP server both serialize access (see their docs).
+// The index is not safe for concurrent mutation, but any number of
+// read-only searches (KNN, Range, VisitCellsByMinDist, Position) may run
+// concurrently as long as no Insert/Update/Remove is in flight; the
+// simulation engine's parallel auditor and the TCP server both rely on
+// that (see their docs).
 package grid
 
 import (
@@ -286,7 +289,12 @@ func (g *Grid) VisitCellsByMinDist(p geo.Point, visit func(c Cell, minDist float
 // (ties broken by id). Fewer than k results means the index holds fewer
 // than k objects. The skip set, if non-nil, excludes specific ids (used to
 // exclude a query's own focal object).
-func (g *Grid) KNN(p geo.Point, k int, skip map[model.ObjectID]bool) []model.Neighbor {
+//
+// dst, if non-nil, is a scratch slice the result is appended into
+// (starting at dst[:0]), letting hot callers — the auditor evaluates
+// every query every tick — amortize the result allocation across calls.
+// Pass nil to allocate a fresh slice.
+func (g *Grid) KNN(p geo.Point, k int, skip map[model.ObjectID]bool, dst []model.Neighbor) []model.Neighbor {
 	if k <= 0 || len(g.objects) == 0 {
 		return nil
 	}
@@ -304,21 +312,22 @@ func (g *Grid) KNN(p geo.Point, k int, skip map[model.ObjectID]bool) []model.Nei
 		return true
 	})
 	dists, ids := best.Drain()
-	out := make([]model.Neighbor, len(ids))
+	out := dst[:0]
 	for i := range ids {
-		out[i] = model.Neighbor{ID: ids[i], Dist: dists[i]}
+		out = append(out, model.Neighbor{ID: ids[i], Dist: dists[i]})
 	}
 	stabilize(out)
 	return out
 }
 
 // Range returns every object within the circle, in ascending distance
-// order with ties broken by id.
-func (g *Grid) Range(c geo.Circle, skip map[model.ObjectID]bool) []model.Neighbor {
+// order with ties broken by id. dst, if non-nil, is a scratch slice the
+// result is appended into (starting at dst[:0]); pass nil to allocate.
+func (g *Grid) Range(c geo.Circle, skip map[model.ObjectID]bool, dst []model.Neighbor) []model.Neighbor {
 	if c.R < 0 || len(g.objects) == 0 {
 		return nil
 	}
-	var out []model.Neighbor
+	out := dst[:0]
 	rsq := c.R * c.R
 	g.VisitCellsByMinDist(c.Center, func(cell Cell, minDist float64) bool {
 		if minDist > c.R {

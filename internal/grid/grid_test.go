@@ -197,7 +197,7 @@ func TestGridMatchesReferenceUnderRandomOps(t *testing.T) {
 	for q := 0; q < 200; q++ {
 		p := randPoint()
 		k := 1 + rng.Intn(25)
-		got := g.KNN(p, k, nil)
+		got := g.KNN(p, k, nil, nil)
 		want := ref.knn(p, k)
 		if !neighborsEqual(got, want) {
 			t.Fatalf("KNN(%v, %d):\n got %v\nwant %v", p, k, got, want)
@@ -206,7 +206,7 @@ func TestGridMatchesReferenceUnderRandomOps(t *testing.T) {
 	// Range equivalence.
 	for q := 0; q < 200; q++ {
 		c := geo.Circle{Center: randPoint(), R: rng.Float64() * 300}
-		got := g.Range(c, nil)
+		got := g.Range(c, nil, nil)
 		want := ref.rangeQ(c)
 		if !neighborsEqual(got, want) {
 			t.Fatalf("Range(%v):\n got %d results\nwant %d", c, len(got), len(want))
@@ -240,10 +240,10 @@ func neighborsEqual(a, b []model.Neighbor) bool {
 
 func TestKNNEdgeCases(t *testing.T) {
 	g := New(world(), 8, 8)
-	if got := g.KNN(geo.Pt(1, 1), 3, nil); got != nil {
+	if got := g.KNN(geo.Pt(1, 1), 3, nil, nil); got != nil {
 		t.Fatalf("empty grid kNN = %v", got)
 	}
-	if got := g.KNN(geo.Pt(1, 1), 0, nil); got != nil {
+	if got := g.KNN(geo.Pt(1, 1), 0, nil, nil); got != nil {
 		t.Fatalf("k=0 kNN = %v", got)
 	}
 	for i := model.ObjectID(1); i <= 3; i++ {
@@ -251,7 +251,7 @@ func TestKNNEdgeCases(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got := g.KNN(geo.Pt(0, 0), 10, nil)
+	got := g.KNN(geo.Pt(0, 0), 10, nil, nil)
 	if len(got) != 3 {
 		t.Fatalf("k larger than population: %v", got)
 	}
@@ -267,7 +267,7 @@ func TestKNNSkipSet(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got := g.KNN(geo.Pt(0, 0), 2, map[model.ObjectID]bool{1: true, 2: true})
+	got := g.KNN(geo.Pt(0, 0), 2, map[model.ObjectID]bool{1: true, 2: true}, nil)
 	if len(got) != 2 || got[0].ID != 3 || got[1].ID != 4 {
 		t.Fatalf("skip set ignored: %v", got)
 	}
@@ -278,20 +278,20 @@ func TestRangeEdgeCases(t *testing.T) {
 	if err := g.Insert(1, geo.Pt(100, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if got := g.Range(geo.Circle{Center: geo.Pt(0, 0), R: -1}, nil); got != nil {
+	if got := g.Range(geo.Circle{Center: geo.Pt(0, 0), R: -1}, nil, nil); got != nil {
 		t.Fatalf("negative radius range = %v", got)
 	}
 	// Boundary-inclusive.
-	got := g.Range(geo.Circle{Center: geo.Pt(100, 0), R: 100}, nil)
+	got := g.Range(geo.Circle{Center: geo.Pt(100, 0), R: 100}, nil, nil)
 	if len(got) != 1 || got[0].ID != 1 {
 		t.Fatalf("boundary object missed: %v", got)
 	}
-	got = g.Range(geo.Circle{Center: geo.Pt(100, 0), R: 99.999}, nil)
+	got = g.Range(geo.Circle{Center: geo.Pt(100, 0), R: 99.999}, nil, nil)
 	if len(got) != 0 {
 		t.Fatalf("object outside included: %v", got)
 	}
 	// Skip set.
-	got = g.Range(geo.Circle{Center: geo.Pt(100, 100), R: 10}, map[model.ObjectID]bool{1: true})
+	got = g.Range(geo.Circle{Center: geo.Pt(100, 100), R: 10}, map[model.ObjectID]bool{1: true}, nil)
 	if len(got) != 0 {
 		t.Fatalf("skip set ignored: %v", got)
 	}
@@ -421,6 +421,48 @@ func BenchmarkGridKNN(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.KNN(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 10, nil)
+		g.KNN(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 10, nil, nil)
+	}
+}
+
+// A reused scratch slice must yield the same results as fresh
+// allocation, be recycled in place when capacity suffices, and never be
+// required (nil dst always works).
+func TestKNNRangeScratchReuse(t *testing.T) {
+	g := New(geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)), 4, 4)
+	for i := 1; i <= 50; i++ {
+		if err := g.Insert(model.ObjectID(i), geo.Pt(float64(i*2%100), float64(i*3%100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := geo.Pt(50, 50)
+	fresh := g.KNN(q, 10, nil, nil)
+	scratch := make([]model.Neighbor, 0, 32)
+	reused := g.KNN(q, 10, nil, scratch)
+	if !neighborsEqual(fresh, reused) {
+		t.Fatalf("scratch KNN differs: %v vs %v", reused, fresh)
+	}
+	if &scratch[:1][0] != &reused[:1][0] {
+		t.Error("KNN did not reuse the scratch backing array")
+	}
+	c := geo.Circle{Center: q, R: 30}
+	freshR := g.Range(c, nil, nil)
+	reusedR := g.Range(c, nil, reused[:0])
+	if !neighborsEqual(freshR, reusedR) {
+		t.Fatalf("scratch Range differs: %v vs %v", reusedR, freshR)
+	}
+	// Repeated calls with the grown buffer must not allocate the result
+	// slice; the per-call search state (frontier heap, seen bitmap, sort
+	// closure) stays — it cannot live on the Grid because searches run
+	// concurrently. The nil-dst path pays at least one extra allocation.
+	buf := reusedR
+	withScratch := testing.AllocsPerRun(50, func() {
+		buf = g.Range(c, nil, buf[:0])
+	})
+	withNil := testing.AllocsPerRun(50, func() {
+		_ = g.Range(c, nil, nil)
+	})
+	if withScratch >= withNil {
+		t.Errorf("scratch path allocates %v per call, nil path %v", withScratch, withNil)
 	}
 }

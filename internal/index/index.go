@@ -22,11 +22,13 @@ type Spatial interface {
 	Position(id model.ObjectID) (geo.Point, bool)
 	Len() int
 	// KNN returns the k nearest objects in ascending distance order,
-	// ties by id; skip excludes ids.
-	KNN(q geo.Point, k int, skip map[model.ObjectID]bool) []model.Neighbor
+	// ties by id; skip excludes ids. dst, if non-nil, is a scratch
+	// slice the result is appended into (starting at dst[:0]) so hot
+	// callers can amortize the result allocation; nil allocates.
+	KNN(q geo.Point, k int, skip map[model.ObjectID]bool, dst []model.Neighbor) []model.Neighbor
 	// Range returns every object inside the circle, ascending by
-	// distance with ties by id.
-	Range(c geo.Circle, skip map[model.ObjectID]bool) []model.Neighbor
+	// distance with ties by id. dst is a scratch slice as in KNN.
+	Range(c geo.Circle, skip map[model.ObjectID]bool, dst []model.Neighbor) []model.Neighbor
 	VisitAll(fn func(id model.ObjectID, p geo.Point) bool)
 }
 

@@ -80,7 +80,7 @@ func TestSubstratesAgree(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		q := randPt()
 		k := 1 + rng.Intn(20)
-		gk, rk := g.KNN(q, k, nil), r.KNN(q, k, nil)
+		gk, rk := g.KNN(q, k, nil, nil), r.KNN(q, k, nil, nil)
 		if len(gk) != len(rk) {
 			t.Fatalf("kNN lengths differ: %d vs %d", len(gk), len(rk))
 		}
@@ -90,7 +90,7 @@ func TestSubstratesAgree(t *testing.T) {
 			}
 		}
 		c := geo.Circle{Center: q, R: rng.Float64() * 150}
-		gr, rr := g.Range(c, nil), r.Range(c, nil)
+		gr, rr := g.Range(c, nil, nil), r.Range(c, nil, nil)
 		if len(gr) != len(rr) {
 			t.Fatalf("range lengths differ: %d vs %d", len(gr), len(rr))
 		}

@@ -70,7 +70,7 @@ func TestGridAgreesWithBruteForce(t *testing.T) {
 		q := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
 		k := 1 + rng.Intn(40)
 		want := BruteForce(states, q, k, nil)
-		got := g.KNN(q, k, nil)
+		got := g.KNN(q, k, nil, nil)
 		if len(got) != len(want) {
 			t.Fatalf("len mismatch: %d vs %d", len(got), len(want))
 		}

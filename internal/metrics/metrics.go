@@ -187,6 +187,27 @@ func (a *Audit) Observe(got, truth model.Answer) {
 	}
 }
 
+// Merge folds the observations accumulated in o into a, as if every
+// answer o observed had been observed by a instead. It lets parallel
+// audit workers accumulate into private Audits and combine them after
+// their barrier; merging in a fixed (worker-count-independent) order
+// keeps the floating-point sums deterministic.
+func (a *Audit) Merge(o *Audit) {
+	a.evaluations += o.evaluations
+	a.exact += o.exact
+	a.sumPrecision += o.sumPrecision
+	a.sumRecall += o.sumRecall
+	a.sumRadiusErr += o.sumRadiusErr
+	if o.initialized && (!a.initialized || o.worstRecall < a.worstRecall) {
+		a.worstRecall = o.worstRecall
+		a.initialized = true
+	}
+}
+
+// Reset returns the audit to its zero state so the accumulator can be
+// reused without reallocating.
+func (a *Audit) Reset() { *a = Audit{} }
+
 // Evaluations returns how many answers were audited.
 func (a *Audit) Evaluations() int { return a.evaluations }
 
@@ -243,6 +264,12 @@ type Series struct {
 
 // Add appends a sample.
 func (s *Series) Add(v float64) { s.values = append(s.values, v) }
+
+// Merge appends every sample of o to s in order. Together with
+// Audit.Merge it supports the merge-after-barrier pattern of parallel
+// collectors: each worker fills a private series, and the owner merges
+// them in a fixed order.
+func (s *Series) Merge(o *Series) { s.values = append(s.values, o.values...) }
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.values) }

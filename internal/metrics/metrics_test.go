@@ -193,3 +193,69 @@ func TestSeries(t *testing.T) {
 		t.Errorf("negative Max = %v", n.Max())
 	}
 }
+
+// Merging chunked audits must equal observing the same answers into one
+// accumulator: counts and sums add, worst recall takes the minimum over
+// initialized chunks.
+func TestAuditMerge(t *testing.T) {
+	var whole Audit
+	whole.Observe(ans(1, 2, 3), ans(1, 2, 3))
+	whole.Observe(ans(1, 2, 4), ans(1, 2, 3))
+	whole.Observe(model.Answer{}, ans(1))
+
+	var c1, c2 Audit
+	c1.Observe(ans(1, 2, 3), ans(1, 2, 3))
+	c1.Observe(ans(1, 2, 4), ans(1, 2, 3))
+	c2.Observe(model.Answer{}, ans(1))
+	var merged Audit
+	merged.Merge(&c1)
+	merged.Merge(&c2)
+
+	if merged != whole {
+		t.Errorf("merged audit %+v != direct %+v", merged, whole)
+	}
+	if merged.WorstRecall() != 0 {
+		t.Errorf("merged worst recall = %v, want 0 (from chunk 2)", merged.WorstRecall())
+	}
+}
+
+// Merging an empty audit is a no-op and must not clobber worst recall.
+func TestAuditMergeEmpty(t *testing.T) {
+	var a, empty Audit
+	a.Observe(ans(1, 2), ans(1, 3)) // recall 1/2
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Errorf("merging empty changed audit: %+v -> %+v", before, a)
+	}
+	// And empty.Merge(populated) adopts the populated stats.
+	empty.Merge(&a)
+	if empty != a {
+		t.Errorf("empty.Merge: %+v != %+v", empty, a)
+	}
+}
+
+func TestAuditReset(t *testing.T) {
+	var a Audit
+	a.Observe(ans(1), ans(2))
+	a.Reset()
+	if a != (Audit{}) {
+		t.Errorf("Reset left state: %+v", a)
+	}
+}
+
+func TestSeriesMerge(t *testing.T) {
+	var a, b Series
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Len() != 3 || a.Mean() != 2 || a.Max() != 3 {
+		t.Errorf("merged series: len=%d mean=%v max=%v", a.Len(), a.Mean(), a.Max())
+	}
+	var empty Series
+	a.Merge(&empty)
+	if a.Len() != 3 {
+		t.Error("merging empty series changed length")
+	}
+}

@@ -19,6 +19,12 @@
 // All models are deterministic given a seed, so experiments are exactly
 // reproducible and every method in a comparison sees the identical object
 // trajectories.
+//
+// Because every model draws from a single per-model RNG stream shared by
+// all objects, Step must advance the whole population serially: splitting
+// the objects across goroutines would reorder the draws and change the
+// trajectories. The simulation loop therefore keeps motion stepping
+// single-threaded and parallelizes elsewhere (see internal/sim).
 package mobility
 
 import (

@@ -9,8 +9,9 @@
 package model
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dmknn/internal/geo"
 )
@@ -78,11 +79,11 @@ func (a Answer) KthDist() float64 {
 // SortNeighbors orders ns by distance, breaking ties by object id so that
 // results are deterministic across methods and runs.
 func SortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		if c := cmp.Compare(a.Dist, b.Dist); c != 0 {
+			return c
 		}
-		return ns[i].ID < ns[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 

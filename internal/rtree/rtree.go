@@ -17,7 +17,7 @@
 //     accumulator; Range collects subtrees intersecting the circle.
 //
 // The tree is not safe for concurrent mutation, matching the grid's
-// contract.
+// contract; read-only searches may run concurrently between mutations.
 package rtree
 
 import (
@@ -432,8 +432,11 @@ func (t *Tree) Update(id model.ObjectID, p geo.Point) error {
 }
 
 // KNN returns the k nearest objects to q in ascending distance order,
-// ties broken by id. skip, if non-nil, excludes ids.
-func (t *Tree) KNN(q geo.Point, k int, skip map[model.ObjectID]bool) []model.Neighbor {
+// ties broken by id. skip, if non-nil, excludes ids. dst, if non-nil, is
+// a scratch slice the result is appended into (starting at dst[:0]),
+// so hot callers can amortize the result allocation; pass nil to
+// allocate a fresh slice.
+func (t *Tree) KNN(q geo.Point, k int, skip map[model.ObjectID]bool, dst []model.Neighbor) []model.Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -462,21 +465,22 @@ func (t *Tree) KNN(q geo.Point, k int, skip map[model.ObjectID]bool) []model.Nei
 		}
 	}
 	dists, ids := best.Drain()
-	out := make([]model.Neighbor, len(ids))
+	out := dst[:0]
 	for i := range ids {
-		out[i] = model.Neighbor{ID: ids[i], Dist: dists[i]}
+		out = append(out, model.Neighbor{ID: ids[i], Dist: dists[i]})
 	}
 	model.SortNeighbors(out)
 	return out
 }
 
 // Range returns every object within the circle, ascending by distance
-// with ties broken by id.
-func (t *Tree) Range(c geo.Circle, skip map[model.ObjectID]bool) []model.Neighbor {
+// with ties broken by id. dst, if non-nil, is a scratch slice the result
+// is appended into (starting at dst[:0]); pass nil to allocate.
+func (t *Tree) Range(c geo.Circle, skip map[model.ObjectID]bool, dst []model.Neighbor) []model.Neighbor {
 	if c.R < 0 || t.size == 0 {
 		return nil
 	}
-	var out []model.Neighbor
+	out := dst[:0]
 	rsq := c.R * c.R
 	var walk func(n *node)
 	walk = func(n *node) {

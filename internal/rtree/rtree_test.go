@@ -15,10 +15,10 @@ func TestEmptyTree(t *testing.T) {
 	if tr.Len() != 0 {
 		t.Fatal("new tree not empty")
 	}
-	if got := tr.KNN(geo.Pt(0, 0), 3, nil); got != nil {
+	if got := tr.KNN(geo.Pt(0, 0), 3, nil, nil); got != nil {
 		t.Fatalf("empty kNN = %v", got)
 	}
-	if got := tr.Range(geo.Circle{Center: geo.Pt(0, 0), R: 10}, nil); got != nil {
+	if got := tr.Range(geo.Circle{Center: geo.Pt(0, 0), R: 10}, nil, nil); got != nil {
 		t.Fatalf("empty range = %v", got)
 	}
 	if _, ok := tr.Position(1); ok {
@@ -61,16 +61,16 @@ func TestBasicKNNAndRange(t *testing.T) {
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	got := tr.KNN(geo.Pt(0, 0), 3, nil)
+	got := tr.KNN(geo.Pt(0, 0), 3, nil, nil)
 	if len(got) != 3 || got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
 		t.Fatalf("kNN = %v", got)
 	}
-	got = tr.Range(geo.Circle{Center: geo.Pt(50, 0), R: 2.5}, nil)
+	got = tr.Range(geo.Circle{Center: geo.Pt(50, 0), R: 2.5}, nil, nil)
 	if len(got) != 5 {
 		t.Fatalf("range |%v| = %d, want 5", got, len(got))
 	}
 	// Skip set.
-	got = tr.KNN(geo.Pt(0, 0), 2, map[model.ObjectID]bool{1: true})
+	got = tr.KNN(geo.Pt(0, 0), 2, map[model.ObjectID]bool{1: true}, nil)
 	if got[0].ID != 2 {
 		t.Fatalf("skip ignored: %v", got)
 	}
@@ -167,7 +167,7 @@ func TestRandomOpsAgainstReference(t *testing.T) {
 		q := randPt()
 		k := 1 + rng.Intn(25)
 		want := knn.BruteForce(states, q, k, nil)
-		got := tr.KNN(q, k, nil)
+		got := tr.KNN(q, k, nil, nil)
 		if len(got) != len(want) {
 			t.Fatalf("kNN len %d vs %d", len(got), len(want))
 		}
@@ -177,7 +177,7 @@ func TestRandomOpsAgainstReference(t *testing.T) {
 			}
 		}
 		c := geo.Circle{Center: q, R: rng.Float64() * 200}
-		gotR := tr.Range(c, nil)
+		gotR := tr.Range(c, nil, nil)
 		wantR := bruteRange(states, c)
 		if len(gotR) != len(wantR) {
 			t.Fatalf("range len %d vs %d", len(gotR), len(wantR))
@@ -219,7 +219,7 @@ func TestSkewedCluster(t *testing.T) {
 	}
 	q := geo.Pt(500, 500)
 	want := knn.BruteForce(states, q, 10, nil)
-	got := tr.KNN(q, 10, nil)
+	got := tr.KNN(q, 10, nil, nil)
 	for i := range want {
 		if got[i].ID != want[i].ID {
 			t.Fatalf("skewed kNN pos %d: %v vs %v", i, got[i], want[i])
@@ -249,7 +249,7 @@ func TestDrainToEmptyAndReuse(t *testing.T) {
 	if err := tr.Insert(1, geo.Pt(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if got := tr.KNN(geo.Pt(0, 0), 1, nil); len(got) != 1 || got[0].ID != 1 {
+	if got := tr.KNN(geo.Pt(0, 0), 1, nil, nil); len(got) != 1 || got[0].ID != 1 {
 		t.Fatalf("post-drain kNN = %v", got)
 	}
 }
@@ -306,6 +306,43 @@ func BenchmarkRTreeKNN(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.KNN(geo.Pt(rng.Float64()*10000, rng.Float64()*10000), 10, nil)
+		tr.KNN(geo.Pt(rng.Float64()*10000, rng.Float64()*10000), 10, nil, nil)
+	}
+}
+
+// A reused scratch slice must yield the same results as fresh allocation
+// and recycle the backing array when its capacity suffices.
+func TestScratchReuse(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 60; i++ {
+		if err := tr.Insert(model.ObjectID(i), geo.Pt(float64(i*7%100), float64(i*13%100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := geo.Pt(50, 50)
+	fresh := tr.KNN(q, 8, nil, nil)
+	scratch := make([]model.Neighbor, 0, 16)
+	reused := tr.KNN(q, 8, nil, scratch)
+	if len(fresh) != len(reused) {
+		t.Fatalf("scratch KNN len %d vs %d", len(reused), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("scratch KNN differs at %d: %v vs %v", i, reused[i], fresh[i])
+		}
+	}
+	if &scratch[:1][0] != &reused[:1][0] {
+		t.Error("KNN did not reuse the scratch backing array")
+	}
+	c := geo.Circle{Center: q, R: 25}
+	freshR := tr.Range(c, nil, nil)
+	reusedR := tr.Range(c, nil, reused[:0])
+	if len(freshR) != len(reusedR) {
+		t.Fatalf("scratch Range len %d vs %d", len(reusedR), len(freshR))
+	}
+	for i := range freshR {
+		if freshR[i] != reusedR[i] {
+			t.Fatalf("scratch Range differs at %d", i)
+		}
 	}
 }

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// benchAuditEngine builds an engine with a populated truth index, large
+// enough that the audit loop dominates.
+func benchAuditEngine(b *testing.B, queries int) *Engine {
+	b.Helper()
+	cfg := testConfig()
+	cfg.NumObjects = 2000
+	cfg.NumQueries = queries
+	cfg.K = 10
+	cfg.Cols, cfg.Rows = 32, 32
+	eng, err := NewEngine(cfg, &nullMethod{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkAuditTick measures one full audit pass (every query checked
+// against brute-force ground truth) — the per-tick cost the scratch-buffer
+// reuse and the per-query parallelism target.
+func BenchmarkAuditTick(b *testing.B) {
+	eng := benchAuditEngine(b, 64)
+	res := &Result{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.audit(res)
+	}
+}

@@ -10,7 +10,11 @@
 //  4. lets the method finalize multi-round exchanges (probe → install)
 //     with a bounded number of additional flushes;
 //  5. audits the method's maintained answers against brute-force ground
-//     truth and samples the per-tick metric series.
+//     truth — fanning the queries out over Config.AuditWorkers goroutines
+//     with deterministic chunk-ordered merging — and samples the per-tick
+//     metric series. Motion (step 1) stays serial: mobility models draw
+//     from a shared per-model RNG stream, so parallel stepping would make
+//     trajectories schedule-dependent.
 //
 // The engine is method-agnostic: the distributed protocol (internal/core)
 // and the centralized baselines (internal/baseline) implement Method and
@@ -20,6 +24,9 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dmknn/internal/geo"
@@ -128,6 +135,17 @@ type Config struct {
 	// DisableAudit skips ground-truth maintenance and answer auditing
 	// (used by pure-throughput benchmarks).
 	DisableAudit bool
+	// AuditWorkers bounds the goroutines the per-tick auditor fans the
+	// queries out over (0 means runtime.GOMAXPROCS; 1 forces the serial
+	// path). The audit result is bit-identical for every worker count:
+	// queries are observed in fixed-size chunks whose accumulators are
+	// merged in chunk order after the barrier, so neither scheduling nor
+	// floating-point summation order depends on the worker count. Only
+	// auditing parallelizes — motion stepping stays serial because the
+	// mobility models draw from one shared per-model RNG stream (see
+	// internal/mobility), and the protocol rounds are serial by the
+	// slotted-time semantics.
+	AuditWorkers int
 }
 
 // Validate reports a descriptive error for unusable configurations.
@@ -198,6 +216,15 @@ type Engine struct {
 	queries []QueryRuntime
 	truth   *grid.Grid
 	now     model.Tick
+	// qScratch is the reusable buffer the motion step stages query focal
+	// states in (the query mobility model steps them as one population).
+	qScratch []model.ObjectState
+	// auditBufs holds one reusable ground-truth neighbor buffer per
+	// audit worker, and chunkAudits one accumulator per query chunk;
+	// both persist across ticks so the steady-state audit allocates
+	// nothing.
+	auditBufs   [][]model.Neighbor
+	chunkAudits []metrics.Audit
 }
 
 // NewEngine builds the environment for cfg and calls method.Setup.
@@ -336,13 +363,21 @@ func (e *Engine) Step() error { return e.step() }
 func (e *Engine) Now() model.Tick { return e.now }
 
 // step advances the simulation by one tick.
+//
+// Motion is deliberately serial: each mobility model consumes a single
+// shared RNG stream across its whole population, so stepping objects
+// concurrently would make trajectories depend on scheduling. Only the
+// audit at the end of a measured tick fans out (see audit).
 func (e *Engine) step() error {
 	e.now++
 	dt := e.cfg.DT
 
 	// 1. Motion.
 	e.objMdl.Step(e.env.Objects, dt)
-	qStates := make([]model.ObjectState, len(e.env.Queries))
+	if e.qScratch == nil {
+		e.qScratch = make([]model.ObjectState, len(e.env.Queries))
+	}
+	qStates := e.qScratch
 	for i := range e.env.Queries {
 		qStates[i] = e.env.Queries[i].State
 	}
@@ -373,27 +408,97 @@ func (e *Engine) step() error {
 	return nil
 }
 
-// audit compares every query's maintained answer against ground truth.
+// auditChunkSize is the number of consecutive queries one audit chunk
+// covers. Chunk boundaries depend only on the query count — never on the
+// worker count — so the chunk accumulators, merged in chunk order, yield
+// bit-identical audit statistics no matter how many workers ran.
+const auditChunkSize = 128
+
+// audit compares every query's maintained answer against ground truth,
+// fanning the queries out over cfg.AuditWorkers goroutines. The
+// ground-truth index is only read here (motion already updated it), the
+// methods' Answer accessors are read-only, and each worker reuses a
+// private scratch buffer for the brute-force neighbor lists, so the
+// steady-state audit is allocation-free and race-free. Per-chunk Audit
+// accumulators are merged in chunk order after the barrier, which keeps
+// the result deterministic (see auditChunkSize).
 //
 // Ties are honored: when several objects sit at exactly the k-th distance
 // (common on lattice-like mobility), any of them is a correct k-th
 // neighbor, so an answer that differs from the truth's deterministic
 // tie-break only among tie-distance objects is audited as exact.
 func (e *Engine) audit(res *Result) {
-	for i := range e.env.Queries {
+	n := len(e.env.Queries)
+	if n == 0 {
+		return
+	}
+	chunks := (n + auditChunkSize - 1) / auditChunkSize
+	workers := e.cfg.AuditWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if len(e.chunkAudits) < chunks {
+		e.chunkAudits = make([]metrics.Audit, chunks)
+	}
+	if len(e.auditBufs) < workers {
+		e.auditBufs = append(e.auditBufs, make([][]model.Neighbor, workers-len(e.auditBufs))...)
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			e.auditChunk(c, &e.chunkAudits[c], &e.auditBufs[0])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					e.auditChunk(c, &e.chunkAudits[c], &e.auditBufs[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for c := 0; c < chunks; c++ {
+		res.Audit.Merge(&e.chunkAudits[c])
+		e.chunkAudits[c].Reset()
+	}
+}
+
+// auditChunk audits queries [c*auditChunkSize, (c+1)*auditChunkSize) into
+// the chunk's private accumulator, reusing buf for ground-truth results.
+func (e *Engine) auditChunk(c int, a *metrics.Audit, buf *[]model.Neighbor) {
+	lo := c * auditChunkSize
+	hi := lo + auditChunkSize
+	if hi > len(e.env.Queries) {
+		hi = len(e.env.Queries)
+	}
+	for i := lo; i < hi; i++ {
 		q := &e.env.Queries[i]
 		var truthNs []model.Neighbor
 		if q.Spec.IsRange() {
-			truthNs = e.truth.Range(geo.Circle{Center: q.State.Pos, R: q.Spec.Range}, nil)
+			truthNs = e.truth.Range(geo.Circle{Center: q.State.Pos, R: q.Spec.Range}, nil, (*buf)[:0])
 		} else {
-			truthNs = e.truth.KNN(q.State.Pos, q.Spec.K, nil)
+			truthNs = e.truth.KNN(q.State.Pos, q.Spec.K, nil, (*buf)[:0])
+		}
+		if cap(truthNs) > cap(*buf) {
+			*buf = truthNs
 		}
 		truth := model.Answer{Query: q.Spec.ID, At: e.now, Neighbors: truthNs}
 		got := e.method.Answer(q.Spec.ID)
 		if !model.SameMembers(got, truth) && e.tieEquivalent(got, truth, q.State.Pos) {
 			got = truth
 		}
-		res.Audit.Observe(got, truth)
+		a.Observe(got, truth)
 	}
 }
 

@@ -327,3 +327,64 @@ func TestRunPropagatesStepErrors(t *testing.T) {
 		t.Fatal("Run swallowed a quiescence error")
 	}
 }
+
+// The parallel auditor must produce bit-identical audit statistics for
+// every worker count: chunk boundaries depend only on the query count and
+// the chunk accumulators are merged in chunk order. The config uses more
+// queries than one audit chunk so several chunks are actually in flight.
+func TestAuditWorkersDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumObjects = 300
+	cfg.NumQueries = auditChunkSize*2 + 17 // spans 3 chunks, last one ragged
+	cfg.Ticks = 6
+	cfg.Warmup = 1
+
+	results := make([]*Result, 0, 3)
+	for _, workers := range []int{1, 4, 8} {
+		c := cfg
+		c.AuditWorkers = workers
+		res, err := Run(c, &nullMethod{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, res)
+	}
+	base := results[0]
+	for i, res := range results[1:] {
+		if res.Audit != base.Audit {
+			t.Errorf("audit stats differ at case %d: %+v vs %+v", i+1, res.Audit, base.Audit)
+		}
+		if res.Audit.MeanRecall() != base.Audit.MeanRecall() ||
+			res.Audit.Exactness() != base.Audit.Exactness() ||
+			res.Audit.MeanRadiusError() != base.Audit.MeanRadiusError() {
+			t.Errorf("derived audit metrics differ at case %d", i+1)
+		}
+	}
+}
+
+// Range-monitor queries go down the truth.Range audit path; it must
+// parallelize identically.
+func TestAuditWorkersDeterministicRange(t *testing.T) {
+	cfg := testConfig()
+	cfg.K = 0
+	cfg.QueryRange = 120
+	cfg.NumQueries = auditChunkSize + 9
+	cfg.Ticks = 4
+	cfg.Warmup = 1
+
+	c1 := cfg
+	c1.AuditWorkers = 1
+	one, err := Run(c1, &nullMethod{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := cfg
+	c8.AuditWorkers = 8
+	eight, err := Run(c8, &nullMethod{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Audit != eight.Audit {
+		t.Errorf("range audit differs: %+v vs %+v", one.Audit, eight.Audit)
+	}
+}
