@@ -372,11 +372,12 @@ func DialObject(addr string, id ObjectID, pos func() Point, opts ClientOptions) 
 		side = ka
 	}
 	agent, err := core.NewObjectAgent(cfg, core.AgentDeps{
-		ID:   model.ObjectID(id),
-		Side: side,
-		Now:  now,
-		Pos:  func() geo.Point { return pos().internal() },
-		DT:   opts.TickInterval.Seconds(),
+		ID:           model.ObjectID(id),
+		Side:         side,
+		Now:          now,
+		Pos:          func() geo.Point { return pos().internal() },
+		DT:           opts.TickInterval.Seconds(),
+		LatencyTicks: 1, // match the server's assumed delivery bound
 	})
 	if err != nil {
 		conn.Close()
@@ -464,11 +465,12 @@ func dialQuerySpec(addr string, clientID ObjectID, spec model.QuerySpec,
 	spec.Pos = pos().internal()
 	agent, err := core.NewQueryAgent(cfg, spec, core.QueryAgentDeps{
 		AgentDeps: core.AgentDeps{
-			ID:   model.ObjectID(clientID),
-			Side: side,
-			Now:  now,
-			Pos:  func() geo.Point { return pos().internal() },
-			DT:   opts.TickInterval.Seconds(),
+			ID:           model.ObjectID(clientID),
+			Side:         side,
+			Now:          now,
+			Pos:          func() geo.Point { return pos().internal() },
+			DT:           opts.TickInterval.Seconds(),
+			LatencyTicks: 1, // match the server's assumed delivery bound
 		},
 		Vel: func() geo.Vector { return vel().internal() },
 	})

@@ -28,6 +28,9 @@ type AgentDeps struct {
 	Pos func() geo.Point
 	// DT is the duration of one tick in seconds.
 	DT float64
+	// LatencyTicks is the known one-way delivery delay bound; the query
+	// agent paces answer-resync retries by the round trip it implies.
+	LatencyTicks int
 }
 
 // ObjectAgent is the logic running on one moving data object: it answers
@@ -275,6 +278,18 @@ type QueryAgent struct {
 	lastVel    geo.Vector
 	lastAt     model.Tick
 	answer     model.Answer
+	// Answer-stream sequencing state: the last applied sequence number,
+	// whether any answer has been applied at all, and the pending
+	// answer-resync request (if one is in flight, when it was sent).
+	answerSeq     uint32
+	haveAnswer    bool
+	resyncPending bool
+	resyncSentAt  model.Tick
+	// trackStale is set when a full AnswerUpdate echoes a server-side
+	// query-position estimate that deviates from the advertised track:
+	// proof that a QueryMove uplink was lost. The next Tick re-advertises
+	// the track unconditionally.
+	trackStale bool
 	// OnAnswer, when set, is called (under the agent lock) with each
 	// received answer update.
 	OnAnswer func(model.Answer)
@@ -311,7 +326,7 @@ func (qc *QueryAgent) Tick(now model.Tick) {
 		return
 	}
 	expect := geo.DeadReckon(qc.lastPos, qc.lastVel, float64(now-qc.lastAt)*qc.deps.DT)
-	if pos.Dist(expect) > qc.cfg.QueryDeviation+trackEpsilon {
+	if pos.Dist(expect) > qc.cfg.QueryDeviation+trackEpsilon || qc.trackStale {
 		qc.deps.Side.Uplink(protocol.QueryMove{
 			Query: qc.spec.ID,
 			Pos:   pos,
@@ -319,15 +334,70 @@ func (qc *QueryAgent) Tick(now model.Tick) {
 			At:    now,
 		})
 		qc.lastPos, qc.lastVel, qc.lastAt = pos, vel, now
+		qc.trackStale = false
+	}
+	// A resync request travels the same lossy medium as the messages it
+	// repairs; retry once per round trip until a full update lands.
+	if qc.resyncPending && now-qc.resyncSentAt >= qc.resyncRetryGap() {
+		qc.sendResync(now)
 	}
 }
 
-// Deregister removes the continuous query from the server.
+// resyncRetryGap is how long a resync request may stay unanswered before
+// it is retried: one full round trip, and at least one tick.
+func (qc *QueryAgent) resyncRetryGap() model.Tick {
+	gap := model.Tick(2*qc.deps.LatencyTicks + 1)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// sendResync uplinks an answer-resync request. Caller holds the lock.
+func (qc *QueryAgent) sendResync(now model.Tick) {
+	qc.deps.Side.Uplink(protocol.AnswerResync{
+		Query:   qc.spec.ID,
+		LastSeq: qc.answerSeq,
+		At:      now,
+	})
+	qc.resyncPending = true
+	qc.resyncSentAt = now
+}
+
+// Deregister removes the continuous query from the server and discards
+// the local answer state, so a later re-registration of the same spec
+// cannot report the previous registration's neighbors.
 func (qc *QueryAgent) Deregister() {
 	qc.mu.Lock()
 	defer qc.mu.Unlock()
 	qc.deps.Side.Uplink(protocol.QueryDeregister{Query: qc.spec.ID})
 	qc.registered = false
+	qc.answer = model.Answer{}
+	qc.answerSeq = 0
+	qc.haveAnswer = false
+	qc.resyncPending = false
+}
+
+// seqNewer reports whether a is newer than b in wrapping 32-bit sequence
+// space (serial-number arithmetic).
+func seqNewer(a, b uint32) bool { return a != b && a-b < 1<<31 }
+
+// checkTrackEcho compares the server's echoed query-position estimate
+// against the advertised track. A deviation beyond the tracking
+// threshold proves the server missed a QueryMove: the client updated its
+// baseline on send, so a lost uplink would otherwise leave the two sides
+// silently diverged until the next natural velocity change. Answers
+// generated before the latest advertisement could have reached the
+// server are skipped — those were legitimately computed against the
+// previous track. Caller holds the lock.
+func (qc *QueryAgent) checkTrackEcho(v protocol.AnswerUpdate) {
+	if !qc.registered || v.At < qc.lastAt+model.Tick(qc.deps.LatencyTicks) {
+		return
+	}
+	expect := geo.DeadReckon(qc.lastPos, qc.lastVel, float64(v.At-qc.lastAt)*qc.deps.DT)
+	if v.QPos.Dist(expect) > qc.cfg.QueryDeviation+trackEpsilon {
+		qc.trackStale = true
+	}
 }
 
 // HandleServerMessage implements transport.ClientHandler.
@@ -339,7 +409,20 @@ func (qc *QueryAgent) HandleServerMessage(msg protocol.Message) {
 		}
 		qc.mu.Lock()
 		defer qc.mu.Unlock()
-		qc.answer = model.Answer{Query: v.Query, At: v.At, Neighbors: v.Neighbors}
+		qc.checkTrackEcho(v)
+		// A full update is self-contained: accept any sequence newer than
+		// the last applied one, ignore stale or duplicated copies.
+		if qc.haveAnswer && !seqNewer(v.Seq, qc.answerSeq) {
+			return
+		}
+		// Copy: the decoded slice may be shared with transport buffers or
+		// later mutated by the caller; agent state must own its storage.
+		ns := make([]model.Neighbor, len(v.Neighbors))
+		copy(ns, v.Neighbors)
+		qc.answer = model.Answer{Query: v.Query, At: v.At, Neighbors: ns}
+		qc.answerSeq = v.Seq
+		qc.haveAnswer = true
+		qc.resyncPending = false
 		if qc.OnAnswer != nil {
 			qc.OnAnswer(qc.answer)
 		}
@@ -349,6 +432,21 @@ func (qc *QueryAgent) HandleServerMessage(msg protocol.Message) {
 		}
 		qc.mu.Lock()
 		defer qc.mu.Unlock()
+		// A delta applies only to the state it was computed against: its
+		// sequence must be exactly one past the last applied one. Anything
+		// older is a duplicate (ignored); anything else is a gap — a lost
+		// or reordered answer message — and the local answer can no longer
+		// be trusted, so ask the server for a full re-baseline instead of
+		// silently diverging until the next ResyncTicks probe.
+		if qc.haveAnswer && !seqNewer(v.Seq, qc.answerSeq) {
+			return
+		}
+		if !qc.haveAnswer || v.Seq != qc.answerSeq+1 {
+			if !qc.resyncPending {
+				qc.sendResync(qc.deps.Now())
+			}
+			return
+		}
 		drop := make(map[model.ObjectID]bool, len(v.Removed)+len(v.Added))
 		for _, id := range v.Removed {
 			drop[id] = true
@@ -366,15 +464,23 @@ func (qc *QueryAgent) HandleServerMessage(msg protocol.Message) {
 		ns = append(ns, v.Added...)
 		model.SortNeighbors(ns)
 		qc.answer = model.Answer{Query: v.Query, At: v.At, Neighbors: ns}
+		qc.answerSeq = v.Seq
 		if qc.OnAnswer != nil {
 			qc.OnAnswer(qc.answer)
 		}
 	}
 }
 
-// Answer returns the latest answer received from the server.
+// Answer returns the latest answer received from the server. The
+// neighbor slice is a copy; mutating it cannot corrupt agent state.
 func (qc *QueryAgent) Answer() model.Answer {
 	qc.mu.Lock()
 	defer qc.mu.Unlock()
-	return qc.answer
+	out := qc.answer
+	if len(out.Neighbors) > 0 {
+		ns := make([]model.Neighbor, len(out.Neighbors))
+		copy(ns, out.Neighbors)
+		out.Neighbors = ns
+	}
+	return out
 }

@@ -224,6 +224,26 @@ func TestAgentMonitorCancel(t *testing.T) {
 	a.HandleServerMessage(protocol.MonitorCancel{Query: 9, Epoch: 1})
 }
 
+// Race regression: a deregistration's MonitorCancel (epoch E) can be
+// reordered behind a same-tick reinstall for a new registration of the
+// same query (epoch E+1) under jitter. The stale cancel must not drop the
+// freshly installed monitor; an exact-epoch cancel still must.
+func TestAgentCancelRacedWithReinstallKeepsFreshMonitor(t *testing.T) {
+	a, _, _, _ := unitAgent(t)
+	a.HandleServerMessage(install(5, false, geo.Pt(500, 510), 20, 100, 0))
+	// The reinstall (epoch 6) wins the race and arrives first...
+	a.HandleServerMessage(install(6, false, geo.Pt(500, 510), 20, 100, 0))
+	// ...then the cancel for the torn-down epoch-5 monitor lands.
+	a.HandleServerMessage(protocol.MonitorCancel{Query: 1, Epoch: 5})
+	if a.MonitorCount() != 1 {
+		t.Fatal("raced cancel dropped the freshly installed monitor")
+	}
+	a.HandleServerMessage(protocol.MonitorCancel{Query: 1, Epoch: 6})
+	if a.MonitorCount() != 0 {
+		t.Fatal("current-epoch cancel ignored")
+	}
+}
+
 func TestAgentDeadReckonsMovingQuery(t *testing.T) {
 	a, side, _, now := unitAgent(t)
 	// Query at (500,520) moving +y at 10 m/s, boundary 25. We are at

@@ -189,13 +189,7 @@ func (m *Method) Setup(env *sim.Env) error {
 	for i := range m.agents {
 		id := model.ObjectID(i + 1)
 		idx := i
-		agent, err := NewObjectAgent(m.cfg, AgentDeps{
-			ID:   id,
-			Side: env.Net.ClientSide(id),
-			Now:  env.Net.Now,
-			Pos:  func() geo.Point { return env.Objects[idx].Pos },
-			DT:   env.DT,
-		})
+		agent, err := m.buildObjectAgent(idx)
 		if err != nil {
 			return err
 		}
@@ -205,24 +199,80 @@ func (m *Method) Setup(env *sim.Env) error {
 
 	m.qcs = make([]*QueryAgent, len(env.Queries))
 	for i := range m.qcs {
-		idx := i
-		addr := env.Queries[i].State.ID
-		qa, err := NewQueryAgent(m.cfg, env.Queries[i].Spec, QueryAgentDeps{
-			AgentDeps: AgentDeps{
-				ID:   addr,
-				Side: env.Net.ClientSide(addr),
-				Now:  env.Net.Now,
-				Pos:  func() geo.Point { return env.Queries[idx].State.Pos },
-				DT:   env.DT,
-			},
-			Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
-		})
+		qa, err := m.buildQueryAgent(i)
 		if err != nil {
 			return err
 		}
 		m.qcs[i] = qa
-		env.Net.AttachClient(addr, qa)
+		env.Net.AttachClient(env.Queries[i].State.ID, qa)
 	}
+	return nil
+}
+
+func (m *Method) buildObjectAgent(idx int) (*ObjectAgent, error) {
+	env := m.env
+	id := model.ObjectID(idx + 1)
+	return NewObjectAgent(m.cfg, AgentDeps{
+		ID:           id,
+		Side:         env.Net.ClientSide(id),
+		Now:          env.Net.Now,
+		Pos:          func() geo.Point { return env.Objects[idx].Pos },
+		DT:           env.DT,
+		LatencyTicks: env.LatencyTicks,
+	})
+}
+
+func (m *Method) buildQueryAgent(idx int) (*QueryAgent, error) {
+	env := m.env
+	addr := env.Queries[idx].State.ID
+	return NewQueryAgent(m.cfg, env.Queries[idx].Spec, QueryAgentDeps{
+		AgentDeps: AgentDeps{
+			ID:           addr,
+			Side:         env.Net.ClientSide(addr),
+			Now:          env.Net.Now,
+			Pos:          func() geo.Point { return env.Queries[idx].State.Pos },
+			DT:           env.DT,
+			LatencyTicks: env.LatencyTicks,
+		},
+		Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
+	})
+}
+
+// RestartObject simulates a crash/restart of one data object's client
+// process: the agent is replaced with a fresh one holding no monitor
+// state, exactly as a rebooted device would come back. Installed
+// monitors it held are gone; the protocol re-recruits it through the
+// normal install/refresh cycle.
+func (m *Method) RestartObject(id model.ObjectID) error {
+	idx := int(id) - 1
+	if m.env == nil || idx < 0 || idx >= len(m.agents) {
+		return fmt.Errorf("core: restart of unknown object %d", id)
+	}
+	agent, err := m.buildObjectAgent(idx)
+	if err != nil {
+		return err
+	}
+	m.agents[idx] = agent
+	m.env.Net.AttachClient(id, agent)
+	return nil
+}
+
+// RestartQuery simulates a crash/restart of a query's focal client: the
+// agent restarts with no registration and no answer state. Its next Tick
+// re-registers; the server treats a duplicate registration from the
+// focal client as a restart and re-baselines it with a full
+// AnswerUpdate.
+func (m *Method) RestartQuery(q model.QueryID) error {
+	qi := int(q) - 1
+	if m.env == nil || qi < 0 || qi >= len(m.qcs) {
+		return fmt.Errorf("core: restart of unknown query %d", q)
+	}
+	qa, err := m.buildQueryAgent(qi)
+	if err != nil {
+		return err
+	}
+	m.qcs[qi] = qa
+	m.env.Net.AttachClient(m.env.Queries[qi].State.ID, qa)
 	return nil
 }
 

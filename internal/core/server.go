@@ -93,6 +93,15 @@ type monitor struct {
 	// rebaseline forces the next answer message to be a full update
 	// (set by installs so delta-mode clients resynchronize).
 	rebaseline bool
+	// answerSeq numbers the answer stream: it increments on every answer
+	// message (full or delta) downlinked for this query, letting the focal
+	// client detect lost, duplicated, and reordered answers.
+	answerSeq uint32
+	// resyncProbe marks a probe started by the periodic ResyncTicks timer:
+	// when it concludes, the focal client is unconditionally re-baselined
+	// with a full AnswerUpdate even if membership did not change, healing
+	// any client-side divergence accumulated from lost messages.
+	resyncProbe bool
 
 	needsReinstall bool
 
@@ -131,12 +140,17 @@ func (s *Server) HandleUplink(from model.ObjectID, msg protocol.Message) {
 	case protocol.QueryRegister:
 		s.register(v, from)
 	case protocol.QueryMove:
-		if mon, ok := s.monitors[v.Query]; ok {
+		if mon, ok := s.monitors[v.Query]; ok && finitePoint(v.Pos) && finiteVec(v.Vel) {
 			mon.qpos, mon.qvel, mon.qat = v.Pos, v.Vel, v.At
 			mon.needsReinstall = true
 		}
 	case protocol.QueryDeregister:
 		s.deregister(v.Query)
+	case protocol.AnswerResync:
+		// Only the query's own focal client may force a re-baseline.
+		if mon, ok := s.monitors[v.Query]; ok && mon.addr == from {
+			s.resyncAnswer(mon, now)
+		}
 	case protocol.ProbeReply:
 		if mon, ok := s.monitors[v.Query]; ok && mon.probing && v.Seq == mon.probeSeq {
 			mon.replies.Set(v.Object, v.Pos)
@@ -246,13 +260,28 @@ func (s *Server) current(q model.QueryID, epoch uint32) *monitor {
 // not a query.
 const maxK = 1 << 16
 
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func finitePoint(p geo.Point) bool { return finite(p.X) && finite(p.Y) }
+
+func finiteVec(v geo.Vector) bool { return finite(v.X) && finite(v.Y) }
+
 func (s *Server) register(v protocol.QueryRegister, from model.ObjectID) {
-	if _, exists := s.monitors[v.Query]; exists {
-		return // duplicate registration: keep existing state
+	if mon, exists := s.monitors[v.Query]; exists {
+		// Duplicate registration: keep existing state. When it comes from
+		// the query's own focal client, the client restarted without local
+		// state — re-baseline it with a full AnswerUpdate so it does not
+		// sit on an empty answer until the next periodic probe.
+		if mon.addr == from {
+			s.resyncAnswer(mon, s.deps.Now())
+		}
+		return
 	}
-	// Sanitize wire input: this is an open network surface.
-	if v.Range < 0 || v.Range != v.Range || // negative or NaN range
-		v.Pos.X != v.Pos.X || v.Pos.Y != v.Pos.Y || // NaN position
+	// Sanitize wire input: this is an open network surface. A non-finite
+	// velocity is as poisonous as a non-finite position — it corrupts
+	// every subsequent dead-reckoning extrapolation for the monitor.
+	if v.Range < 0 || math.IsNaN(v.Range) || math.IsInf(v.Range, 0) ||
+		!finitePoint(v.Pos) || !finiteVec(v.Vel) ||
 		(v.Range == 0 && (v.K == 0 || v.K > maxK)) {
 		return
 	}
@@ -324,6 +353,7 @@ func (s *Server) Tick(now model.Tick) {
 		// client/server desynchronization accumulated from lost messages.
 		if cfg.ResyncTicks > 0 && mon.installed &&
 			now-mon.lastProbeAt >= model.Tick(cfg.ResyncTicks) {
+			mon.resyncProbe = true
 			s.startProbe(mon, now)
 			continue
 		}
@@ -626,13 +656,22 @@ func (s *Server) install(mon *monitor, now model.Tick, center geo.Point, rk, rad
 		Radius:       radius,
 		At:           now,
 	})
+	if mon.resyncProbe {
+		// A periodic resync probe exists to heal lost-message divergence;
+		// the focal client gets a full answer even if membership is
+		// unchanged (refreshAnswer would stay silent and leave a desynced
+		// client desynced for another ResyncTicks period).
+		mon.resyncProbe = false
+		s.resyncAnswer(mon, now)
+		return
+	}
 	s.refreshAnswer(mon, now)
 }
 
-// refreshAnswer recomputes the maintained answer from the inside set
+// computeAnswer recomputes the maintained answer from the inside set
 // (filling from annulus candidates while recovering from an under-full
-// circle) and downlinks an AnswerUpdate when membership changed.
-func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
+// circle) and stores it in mon.answer.
+func (s *Server) computeAnswer(mon *monitor, now model.Tick) []model.Neighbor {
 	center := mon.qEst(now, s.deps.DT)
 
 	acc := make([]model.Neighbor, 0, len(mon.inside)+4)
@@ -666,6 +705,31 @@ func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
 		model.SortNeighbors(acc)
 	}
 	mon.answer = acc
+	return acc
+}
+
+// sendFullAnswer downlinks the current answer as a re-baselining full
+// AnswerUpdate and records its membership as sent.
+func (s *Server) sendFullAnswer(mon *monitor, acc []model.Neighbor, now model.Tick) {
+	mon.rebaseline = false
+	clear(mon.sent)
+	for _, n := range acc {
+		mon.sent[n.ID] = true
+	}
+	ns := make([]model.Neighbor, len(acc))
+	copy(ns, acc)
+	mon.answerSeq++
+	s.deps.Side.Downlink(mon.addr, protocol.AnswerUpdate{
+		Query: mon.query, Seq: mon.answerSeq, At: now,
+		QPos: mon.qEst(now, s.deps.DT), Neighbors: ns,
+	})
+}
+
+// refreshAnswer recomputes the maintained answer and downlinks an answer
+// message when membership changed (a delta in delta mode, a full update
+// otherwise or when a rebaseline is due).
+func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
+	acc := s.computeAnswer(mon, now)
 
 	changed := len(acc) != len(mon.sent)
 	var added []model.Neighbor
@@ -694,19 +758,23 @@ func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
 		for _, n := range acc {
 			mon.sent[n.ID] = true
 		}
+		mon.answerSeq++
 		s.deps.Side.Downlink(mon.addr, protocol.AnswerDelta{
-			Query: mon.query, At: now, Added: added, Removed: removed,
+			Query: mon.query, Seq: mon.answerSeq, At: now, Added: added, Removed: removed,
 		})
 		return
 	}
-	mon.rebaseline = false
-	clear(mon.sent)
-	for _, n := range acc {
-		mon.sent[n.ID] = true
-	}
-	ns := make([]model.Neighbor, len(acc))
-	copy(ns, acc)
-	s.deps.Side.Downlink(mon.addr, protocol.AnswerUpdate{Query: mon.query, At: now, Neighbors: ns})
+	s.sendFullAnswer(mon, acc, now)
+}
+
+// resyncAnswer unconditionally re-baselines the focal client with a full
+// AnswerUpdate, regardless of whether membership changed since the last
+// answer message. This is the server half of the answer-resync protocol:
+// it runs on a client's explicit resync request, on a re-registration
+// from the focal client (client restart), and when a periodic
+// ResyncTicks probe concludes.
+func (s *Server) resyncAnswer(mon *monitor, now model.Tick) {
+	s.sendFullAnswer(mon, s.computeAnswer(mon, now), now)
 }
 
 // Answer returns the server's maintained answer for q.

@@ -21,6 +21,7 @@ import (
 	"dmknn/internal/core"
 	"dmknn/internal/shard"
 	"dmknn/internal/sim"
+	"dmknn/internal/simnet"
 	"dmknn/internal/workload"
 )
 
@@ -367,26 +368,33 @@ type Profile struct {
 	Grids      []int
 	Shards     []int
 	Losses     []float64
+	// BurstLosses are stationary Gilbert–Elliott loss rates for the
+	// burst-loss sweep (fig18); BurstLen is the mean burst length in
+	// delivery attempts.
+	BurstLosses []float64
+	BurstLen    float64
 }
 
 // FullProfile is the paper-scale evaluation grid from DESIGN.md §5.
 func FullProfile() Profile {
 	return Profile{
-		Base:       workload.Default(),
-		Proto:      core.DefaultConfig(),
-		CITau:      50,
-		Ns:         []int{5000, 10000, 20000, 40000, 80000},
-		Ks:         []int{1, 5, 10, 20, 50},
-		ObjSpeeds:  []float64{5, 10, 20, 40},
-		QrySpeeds:  []float64{0, 5, 20, 40},
-		Qs:         []int{1, 16, 64, 256, 1024},
-		Horizons:   []int{5, 10, 20, 40, 80},
-		Taus:       []float64{10, 50, 100, 250},
-		Thetas:     []float64{0, 10, 25, 50},
-		Mobilities: []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
-		Grids:      []int{16, 32, 64, 128},
-		Shards:     []int{1, 2, 4, 8},
-		Losses:     []float64{0, 0.01, 0.02, 0.05, 0.10},
+		Base:        workload.Default(),
+		Proto:       core.DefaultConfig(),
+		CITau:       50,
+		Ns:          []int{5000, 10000, 20000, 40000, 80000},
+		Ks:          []int{1, 5, 10, 20, 50},
+		ObjSpeeds:   []float64{5, 10, 20, 40},
+		QrySpeeds:   []float64{0, 5, 20, 40},
+		Qs:          []int{1, 16, 64, 256, 1024},
+		Horizons:    []int{5, 10, 20, 40, 80},
+		Taus:        []float64{10, 50, 100, 250},
+		Thetas:      []float64{0, 10, 25, 50},
+		Mobilities:  []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
+		Grids:       []int{16, 32, 64, 128},
+		Shards:      []int{1, 2, 4, 8},
+		Losses:      []float64{0, 0.01, 0.02, 0.05, 0.10},
+		BurstLosses: []float64{0, 0.05, 0.10, 0.20, 0.30},
+		BurstLen:    8,
 	}
 }
 
@@ -398,22 +406,24 @@ func SmokeProfile() Profile {
 	proto.HorizonTicks = 8
 	proto.MinProbeRadius = 100
 	return Profile{
-		Base:       base,
-		Proto:      proto,
-		CITau:      20,
-		CBTau:      20,
-		Ns:         []int{300, 600, 1200},
-		Ks:         []int{1, 5, 10},
-		ObjSpeeds:  []float64{5, 10, 20},
-		QrySpeeds:  []float64{0, 10, 20},
-		Qs:         []int{1, 8, 32},
-		Horizons:   []int{4, 8, 16},
-		Taus:       []float64{10, 50},
-		Thetas:     []float64{0, 10, 50},
-		Mobilities: []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
-		Grids:      []int{8, 16, 32},
-		Shards:     []int{1, 4},
-		Losses:     []float64{0, 0.05},
+		Base:        base,
+		Proto:       proto,
+		CITau:       20,
+		CBTau:       20,
+		Ns:          []int{300, 600, 1200},
+		Ks:          []int{1, 5, 10},
+		ObjSpeeds:   []float64{5, 10, 20},
+		QrySpeeds:   []float64{0, 10, 20},
+		Qs:          []int{1, 8, 32},
+		Horizons:    []int{4, 8, 16},
+		Taus:        []float64{10, 50},
+		Thetas:      []float64{0, 10, 50},
+		Mobilities:  []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
+		Grids:       []int{8, 16, 32},
+		Shards:      []int{1, 4},
+		Losses:      []float64{0, 0.05},
+		BurstLosses: []float64{0, 0.10},
+		BurstLen:    4,
 	}
 }
 
@@ -443,6 +453,7 @@ func Suite(p Profile) []*Experiment {
 		p.Fig15Skew(),
 		p.Fig16ShardScaling(),
 		p.Fig17LossRobustness(),
+		p.Fig18BurstLoss(),
 		p.Table3Accuracy(),
 		p.Table4Mobility(),
 	}
@@ -679,6 +690,31 @@ func (p Profile) Fig17LossRobustness() *Experiment {
 		cfg.UplinkLoss = loss
 		cfg.DownlinkLoss = loss
 		cfg.BroadcastLoss = loss
+		e.Points = append(e.Points, Point{fmt.Sprintf("%.0f%%", loss*100), cfg})
+	}
+	return e
+}
+
+// Fig18BurstLoss: answer quality and uplink cost under bursty
+// (Gilbert–Elliott) loss on all three directions. DKNN runs the full
+// lossy-deployment configuration — delta answers over the sequenced
+// stream, client-driven answer-resync, and a periodic resync probe — so
+// the sweep measures exactly the recovery machinery this protocol adds
+// over independent loss (fig17).
+func (p Profile) Fig18BurstLoss() *Experiment {
+	proto := p.Proto
+	proto.ResyncTicks = 3 * proto.HorizonTicks
+	proto.DeltaAnswers = true
+	e := &Experiment{
+		ID: "fig18", Title: "Answer quality vs bursty loss (Gilbert–Elliott, all directions)",
+		XLabel:  "loss",
+		Methods: []MethodSpec{CI(p.CITau), DKNN(proto)},
+		Metrics: []Metric{MetricRecall, MetricUplink},
+	}
+	for _, loss := range p.BurstLosses {
+		cfg := p.Base
+		ge := simnet.BurstLoss(loss, p.BurstLen)
+		cfg.Faults = simnet.FaultConfig{UplinkGE: ge, DownlinkGE: ge, BroadcastGE: ge}
 		e.Points = append(e.Points, Point{fmt.Sprintf("%.0f%%", loss*100), cfg})
 	}
 	return e

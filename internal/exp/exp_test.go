@@ -33,8 +33,8 @@ func tiny() Profile {
 
 func TestSuiteStructure(t *testing.T) {
 	suite := Suite(tiny())
-	if len(suite) != 15 {
-		t.Fatalf("suite has %d experiments, want 15", len(suite))
+	if len(suite) != 16 {
+		t.Fatalf("suite has %d experiments, want 16", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, e := range suite {
@@ -54,7 +54,7 @@ func TestSuiteStructure(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table3", "table4"} {
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table3", "table4"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}
@@ -248,7 +248,7 @@ func TestBuildErrorsPropagateParallel(t *testing.T) {
 func TestParallelRunDeterministic(t *testing.T) {
 	p := tiny()
 	for i, build := range []func() *Experiment{
-		p.Fig5ObjectScaling, // single metric, multi-method
+		p.Fig5ObjectScaling,  // single metric, multi-method
 		p.Fig12SlackAblation, // methods encode the sweep
 		p.Table3Accuracy,     // multi-metric columns
 		p.Fig17LossRobustness,

@@ -75,6 +75,10 @@ const (
 	// KindAnswerDelta delivers an incremental answer change (positive and
 	// negative updates) instead of the full answer. Downlink.
 	KindAnswerDelta
+	// KindAnswerResync asks the server for a full re-baselining
+	// AnswerUpdate after the focal client detected a gap in the answer
+	// sequence (a lost or reordered AnswerDelta). Uplink.
+	KindAnswerResync
 
 	kindEnd // sentinel: all valid kinds are below this
 )
@@ -94,6 +98,7 @@ var kindNames = map[Kind]string{
 	KindQueryDeregister: "query-deregister",
 	KindAnswerUpdate:    "answer-update",
 	KindAnswerDelta:     "answer-delta",
+	KindAnswerResync:    "answer-resync",
 }
 
 // String implements fmt.Stringer.
@@ -263,9 +268,24 @@ type QueryDeregister struct {
 func (QueryDeregister) Kind() Kind { return KindQueryDeregister }
 
 // AnswerUpdate carries a complete current answer to the query client.
+//
+// Seq is the per-query answer sequence number: the server increments it
+// on every answer message (full or delta) it downlinks for the query, so
+// the focal client can detect lost, duplicated, and reordered answer
+// messages. A full update is self-contained — the client accepts any Seq
+// newer than the last one it applied and re-baselines from it.
+//
+// QPos echoes the server's dead-reckoned estimate of the query position
+// at tick At. The focal client compares it against its own advertised
+// track: a deviation beyond the tracking threshold proves the server
+// missed a QueryMove (lost uplink), and the client re-advertises its
+// track. When no uplink was lost the two estimates agree exactly, so the
+// echo costs no extra traffic on a clean channel.
 type AnswerUpdate struct {
 	Query     model.QueryID
+	Seq       uint32
 	At        model.Tick
+	QPos      geo.Point
 	Neighbors []model.Neighbor
 }
 
@@ -275,8 +295,14 @@ func (AnswerUpdate) Kind() Kind { return KindAnswerUpdate }
 // AnswerDelta carries an incremental answer change: objects added to the
 // answer (with distances) and objects removed. The client applies it to
 // its last known answer; a full AnswerUpdate re-baselines.
+//
+// Seq shares the query's answer sequence with AnswerUpdate. A delta is
+// only applicable when Seq is exactly one past the client's last applied
+// sequence; any other value means the stream lost or reordered a message
+// and the client must request a resync instead of applying it.
 type AnswerDelta struct {
 	Query   model.QueryID
+	Seq     uint32
 	At      model.Tick
 	Added   []model.Neighbor
 	Removed []model.ObjectID
@@ -284,6 +310,20 @@ type AnswerDelta struct {
 
 // Kind implements Message.
 func (AnswerDelta) Kind() Kind { return KindAnswerDelta }
+
+// AnswerResync asks the server to re-baseline the query client with a
+// full AnswerUpdate. The focal client sends it when the answer stream
+// shows a sequence gap (a lost AnswerDelta) or when it restarts without
+// state; LastSeq is the last sequence it applied (0 if none), which the
+// server may use for diagnostics.
+type AnswerResync struct {
+	Query   model.QueryID
+	LastSeq uint32
+	At      model.Tick
+}
+
+// Kind implements Message.
+func (AnswerResync) Kind() Kind { return KindAnswerResync }
 
 // ---------------------------------------------------------------------------
 // Codec
@@ -354,7 +394,9 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendU32(dst, uint32(v.Query))
 	case AnswerUpdate:
 		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.Seq)
 		dst = appendTick(dst, v.At)
+		dst = appendPoint(dst, v.QPos)
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Neighbors)))
 		for _, n := range v.Neighbors {
 			dst = appendU32(dst, uint32(n.ID))
@@ -362,6 +404,7 @@ func Encode(dst []byte, m Message) []byte {
 		}
 	case AnswerDelta:
 		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.Seq)
 		dst = appendTick(dst, v.At)
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.Added)))
 		for _, n := range v.Added {
@@ -372,6 +415,10 @@ func Encode(dst []byte, m Message) []byte {
 		for _, id := range v.Removed {
 			dst = appendU32(dst, uint32(id))
 		}
+	case AnswerResync:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.LastSeq)
+		dst = appendTick(dst, v.At)
 	default:
 		panic(fmt.Sprintf("protocol: Encode of unknown type %T", m))
 	}
@@ -402,9 +449,11 @@ func EncodedSize(m Message) int {
 	case QueryDeregister:
 		return 1 + 4
 	case AnswerUpdate:
-		return 1 + 4 + 8 + 2 + len(v.Neighbors)*12
+		return 1 + 4 + 4 + 8 + 16 + 2 + len(v.Neighbors)*12
 	case AnswerDelta:
-		return 1 + 4 + 8 + 2 + len(v.Added)*12 + 2 + len(v.Removed)*4
+		return 1 + 4 + 4 + 8 + 2 + len(v.Added)*12 + 2 + len(v.Removed)*4
+	case AnswerResync:
+		return 1 + 4 + 4 + 8
 	default:
 		panic(fmt.Sprintf("protocol: EncodedSize of unknown type %T", m))
 	}
@@ -490,7 +539,9 @@ func Decode(buf []byte) (Message, error) {
 	case KindAnswerUpdate:
 		au := AnswerUpdate{
 			Query: model.QueryID(r.u32()),
+			Seq:   r.u32(),
 			At:    r.tick(),
+			QPos:  r.point(),
 		}
 		n := int(r.u16())
 		if !r.failed && n > 0 {
@@ -506,6 +557,7 @@ func Decode(buf []byte) (Message, error) {
 	case KindAnswerDelta:
 		ad := AnswerDelta{
 			Query: model.QueryID(r.u32()),
+			Seq:   r.u32(),
 			At:    r.tick(),
 		}
 		na := int(r.u16())
@@ -526,6 +578,12 @@ func Decode(buf []byte) (Message, error) {
 			}
 		}
 		m = ad
+	case KindAnswerResync:
+		m = AnswerResync{
+			Query:   model.QueryID(r.u32()),
+			LastSeq: r.u32(),
+			At:      r.tick(),
+		}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}

@@ -32,14 +32,16 @@ func sampleMessages() []Message {
 			AnswerRadius: 250.5, Radius: 400, At: 1},
 		QueryMove{Query: 8, Pos: geo.Pt(510, 505), Vel: geo.Vec(2, 0), At: 30},
 		QueryDeregister{Query: 8},
-		AnswerUpdate{Query: 8, At: 31, Neighbors: []model.Neighbor{
-			{ID: 4, Dist: 12.5}, {ID: 9, Dist: 13.75}, {ID: 1, Dist: 99},
-		}},
-		AnswerUpdate{Query: 9, At: 32}, // empty answer
-		AnswerDelta{Query: 9, At: 33,
+		AnswerUpdate{Query: 8, Seq: 12, At: 31, QPos: geo.Pt(512, 504),
+			Neighbors: []model.Neighbor{
+				{ID: 4, Dist: 12.5}, {ID: 9, Dist: 13.75}, {ID: 1, Dist: 99},
+			}},
+		AnswerUpdate{Query: 9, Seq: 1, At: 32}, // empty answer
+		AnswerDelta{Query: 9, Seq: 13, At: 33,
 			Added:   []model.Neighbor{{ID: 5, Dist: 7.5}},
 			Removed: []model.ObjectID{3, 4}},
-		AnswerDelta{Query: 10, At: 34}, // empty delta
+		AnswerDelta{Query: 10, Seq: 2, At: 34}, // empty delta
+		AnswerResync{Query: 9, LastSeq: 13, At: 35},
 	}
 }
 

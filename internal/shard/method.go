@@ -82,11 +82,12 @@ func (m *Method) Setup(env *sim.Env) error {
 		id := model.ObjectID(i + 1)
 		idx := i
 		agent, err := core.NewObjectAgent(m.cfg, core.AgentDeps{
-			ID:   id,
-			Side: env.Net.ClientSide(id),
-			Now:  env.Net.Now,
-			Pos:  func() geo.Point { return env.Objects[idx].Pos },
-			DT:   env.DT,
+			ID:           id,
+			Side:         env.Net.ClientSide(id),
+			Now:          env.Net.Now,
+			Pos:          func() geo.Point { return env.Objects[idx].Pos },
+			DT:           env.DT,
+			LatencyTicks: env.LatencyTicks,
 		})
 		if err != nil {
 			return err
@@ -100,11 +101,12 @@ func (m *Method) Setup(env *sim.Env) error {
 		addr := env.Queries[i].State.ID
 		qa, err := core.NewQueryAgent(m.cfg, env.Queries[i].Spec, core.QueryAgentDeps{
 			AgentDeps: core.AgentDeps{
-				ID:   addr,
-				Side: env.Net.ClientSide(addr),
-				Now:  env.Net.Now,
-				Pos:  func() geo.Point { return env.Queries[idx].State.Pos },
-				DT:   env.DT,
+				ID:           addr,
+				Side:         env.Net.ClientSide(addr),
+				Now:          env.Net.Now,
+				Pos:          func() geo.Point { return env.Queries[idx].State.Pos },
+				DT:           env.DT,
+				LatencyTicks: env.LatencyTicks,
 			},
 			Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
 		})

@@ -127,7 +127,11 @@ type Config struct {
 	UplinkLoss    float64
 	DownlinkLoss  float64
 	BroadcastLoss float64
-	Seed          int64
+	// Faults is the optional fault-injection matrix (burst loss, jitter,
+	// duplication); the zero value leaves the network's behavior — and
+	// its seeded loss stream — exactly as without it.
+	Faults simnet.FaultConfig
+	Seed   int64
 	// ObjectModel and QueryModel construct the mobility models. They
 	// receive the seed so trajectories are reproducible.
 	ObjectModel func(seed int64) (mobility.Model, error)
@@ -247,6 +251,7 @@ func NewEngine(cfg Config, method Method) (*Engine, error) {
 		UplinkLoss:    cfg.UplinkLoss,
 		DownlinkLoss:  cfg.DownlinkLoss,
 		BroadcastLoss: cfg.BroadcastLoss,
+		Faults:        cfg.Faults,
 		Seed:          cfg.Seed + 0x51ED2701,
 	})
 

@@ -17,6 +17,13 @@
 //     client whose current position lies in one of those cells.
 //   - Loss is independent per recipient with configurable probability per
 //     direction, from a seeded generator: runs are reproducible.
+//   - Faults (optional) compose on top of the independent loss: burst loss
+//     from a Gilbert–Elliott channel per direction, per-message latency
+//     jitter (which breaks FIFO ordering across ticks), message
+//     duplication, and client down/up churn. All fault processes draw from
+//     a second seeded generator, so a zero FaultConfig leaves the base
+//     loss stream — and therefore every pre-existing experiment —
+//     bit-for-bit unchanged.
 package simnet
 
 import (
@@ -46,6 +53,92 @@ type Config struct {
 	BroadcastLoss float64
 	// Seed drives the loss process.
 	Seed int64
+	// Faults composes the optional fault-injection matrix. The zero value
+	// disables every fault and leaves the base loss stream untouched.
+	Faults FaultConfig
+}
+
+// GEChannel is a two-state Gilbert–Elliott burst-loss channel. The chain
+// advances once per delivery attempt on its direction: the attempt is
+// lost with the current state's loss probability, then the state
+// transitions. The zero value is a disabled channel.
+type GEChannel struct {
+	// PGoodBad is the per-attempt probability of moving good → bad.
+	PGoodBad float64
+	// PBadGood is the per-attempt probability of moving bad → good; its
+	// reciprocal is the mean burst length in attempts.
+	PBadGood float64
+	// LossGood and LossBad are the per-attempt loss probabilities in each
+	// state (typically LossGood ≈ 0, LossBad ≈ 1).
+	LossGood float64
+	LossBad  float64
+}
+
+func (g GEChannel) enabled() bool { return g != GEChannel{} }
+
+func (g GEChannel) validate(name string) {
+	for _, p := range []float64{g.PGoodBad, g.PBadGood, g.LossGood, g.LossBad} {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("simnet: %s GE probability %v outside [0,1]", name, p))
+		}
+	}
+	if g.enabled() && g.PBadGood == 0 && g.PGoodBad > 0 {
+		panic(fmt.Sprintf("simnet: %s GE channel can enter the bad state but never leave it", name))
+	}
+}
+
+// BurstLoss returns a Gilbert–Elliott channel with the given stationary
+// loss rate (in [0,1)) and mean burst length (in delivery attempts,
+// >= 1): the bad state always loses, the good state never does, and the
+// transition probabilities are solved so the long-run fraction of
+// attempts spent bad equals rate.
+func BurstLoss(rate, meanBurst float64) GEChannel {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("simnet: burst loss rate %v outside [0,1)", rate))
+	}
+	if meanBurst < 1 {
+		panic(fmt.Sprintf("simnet: mean burst length %v < 1", meanBurst))
+	}
+	if rate == 0 {
+		return GEChannel{}
+	}
+	pBG := 1 / meanBurst
+	return GEChannel{
+		PGoodBad: pBG * rate / (1 - rate),
+		PBadGood: pBG,
+		LossBad:  1,
+	}
+}
+
+// FaultConfig composes the fault-injection matrix. Every process draws
+// from the fault generator only when enabled, so any subset can be
+// switched on without perturbing the others (or the base loss stream).
+type FaultConfig struct {
+	// Per-direction Gilbert–Elliott burst loss, applied on top of the
+	// independent per-message loss probabilities.
+	UplinkGE    GEChannel
+	DownlinkGE  GEChannel
+	BroadcastGE GEChannel
+	// JitterTicks adds a uniform extra delay in [0, JitterTicks] ticks to
+	// each queued message independently, breaking FIFO ordering.
+	JitterTicks int
+	// DuplicateProb enqueues a second copy of a message with this
+	// probability, in [0,1). The copy jitters independently and is not
+	// counted as a send; Network.Duplicated exposes the count so
+	// conservation checks can account for it.
+	DuplicateProb float64
+}
+
+func (f FaultConfig) validate() {
+	f.UplinkGE.validate("uplink")
+	f.DownlinkGE.validate("downlink")
+	f.BroadcastGE.validate("broadcast")
+	if f.JitterTicks < 0 {
+		panic("simnet: negative jitter")
+	}
+	if f.DuplicateProb < 0 || f.DuplicateProb >= 1 {
+		panic(fmt.Sprintf("simnet: duplicate probability %v outside [0,1)", f.DuplicateProb))
+	}
 }
 
 type queued struct {
@@ -64,6 +157,15 @@ type Network struct {
 	counters metrics.Counters
 	rng      *rand.Rand
 	now      model.Tick
+
+	// Fault state. frng is a second generator so fault processes never
+	// perturb the base loss stream; geBad tracks the Gilbert–Elliott state
+	// per direction; down marks crashed clients; dups counts duplicated
+	// queue entries per direction.
+	frng  *rand.Rand
+	geBad [3]bool
+	down  map[model.ObjectID]bool
+	dups  [3]uint64
 
 	server  transport.ServerHandler
 	clients map[model.ObjectID]transport.ClientHandler
@@ -85,12 +187,45 @@ func New(cfg Config) *Network {
 			panic(fmt.Sprintf("simnet: loss probability %v outside [0,1)", p))
 		}
 	}
+	cfg.Faults.validate()
 	return &Network{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		frng:    rand.New(rand.NewSource(cfg.Seed ^ faultSeedMix)),
+		down:    make(map[model.ObjectID]bool),
 		clients: make(map[model.ObjectID]transport.ClientHandler),
 	}
 }
+
+// faultSeedMix decorrelates the fault generator from the base loss
+// generator when both derive from the same configured seed.
+const faultSeedMix = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as int64
+
+// SetFaults replaces the fault matrix mid-run (e.g. a chaos phase that
+// starts and later clears). Gilbert–Elliott channel state and the fault
+// generator are preserved across calls so re-enabling resumes the same
+// deterministic process.
+func (n *Network) SetFaults(f FaultConfig) {
+	f.validate()
+	n.cfg.Faults = f
+}
+
+// SetClientDown marks a client as crashed (or back up). Messages to or
+// from a down client are dropped at delivery time and counted as drops;
+// the attach state is untouched, so bringing the client back up restores
+// delivery without re-registration.
+func (n *Network) SetClientDown(id model.ObjectID, isDown bool) {
+	if isDown {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// Duplicated returns how many extra copies the duplication fault enqueued
+// in the given direction. Conservation under duplication is
+// sent + duplicated == delivered + dropped for unicast directions.
+func (n *Network) Duplicated(dir metrics.Direction) uint64 { return n.dups[dir] }
 
 // Counters returns the live traffic counters.
 func (n *Network) Counters() *metrics.Counters { return &n.counters }
@@ -143,10 +278,7 @@ type serverSide struct{ n *Network }
 func (s serverSide) Downlink(to model.ObjectID, m protocol.Message) {
 	n := s.n
 	n.counters.RecordSend(metrics.Downlink, m.Kind(), protocol.EncodedSize(m))
-	n.queue = append(n.queue, queued{
-		due: n.now + model.Tick(n.cfg.LatencyTicks),
-		dir: metrics.Downlink, to: to, msg: m,
-	})
+	n.enqueue(queued{dir: metrics.Downlink, to: to, msg: m})
 }
 
 func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
@@ -160,10 +292,7 @@ func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
 	if len(cells) == 0 {
 		return
 	}
-	n.queue = append(n.queue, queued{
-		due: n.now + model.Tick(n.cfg.LatencyTicks),
-		dir: metrics.Broadcast, region: region, msg: m,
-	})
+	n.enqueue(queued{dir: metrics.Broadcast, region: region, msg: m})
 }
 
 type clientSide struct {
@@ -174,10 +303,31 @@ type clientSide struct {
 func (c clientSide) Uplink(m protocol.Message) {
 	n := c.n
 	n.counters.RecordSend(metrics.Uplink, m.Kind(), protocol.EncodedSize(m))
-	n.queue = append(n.queue, queued{
-		due: n.now + model.Tick(n.cfg.LatencyTicks),
-		dir: metrics.Uplink, from: c.id, msg: m,
-	})
+	n.enqueue(queued{dir: metrics.Uplink, from: c.id, msg: m})
+}
+
+// enqueue stamps the due tick (base latency plus optional jitter) and
+// appends q, plus an independently jittered copy when the duplication
+// fault fires. Fault draws happen only when the respective fault is
+// enabled, keeping zero-fault runs bit-identical to the pre-fault
+// network.
+func (n *Network) enqueue(q queued) {
+	q.due = n.dueTick()
+	n.queue = append(n.queue, q)
+	if p := n.cfg.Faults.DuplicateProb; p > 0 && n.frng.Float64() < p {
+		d := q
+		d.due = n.dueTick()
+		n.queue = append(n.queue, d)
+		n.dups[q.dir]++
+	}
+}
+
+func (n *Network) dueTick() model.Tick {
+	due := n.now + model.Tick(n.cfg.LatencyTicks)
+	if j := n.cfg.Faults.JitterTicks; j > 0 {
+		due += model.Tick(n.frng.Intn(j + 1))
+	}
+	return due
 }
 
 // maxFlushRounds bounds handler-triggered cascades within one Flush. A
@@ -221,7 +371,7 @@ func (n *Network) PendingCount() int { return len(n.queue) }
 func (n *Network) deliver(q queued) int {
 	switch q.dir {
 	case metrics.Uplink:
-		if n.server == nil || n.lose(n.cfg.UplinkLoss) {
+		if n.server == nil || n.down[q.from] || n.lose(n.cfg.UplinkLoss) || n.geLose(metrics.Uplink) {
 			n.counters.RecordDrop(metrics.Uplink)
 			return 0
 		}
@@ -230,7 +380,7 @@ func (n *Network) deliver(q queued) int {
 		return 1
 	case metrics.Downlink:
 		h, ok := n.clients[q.to]
-		if !ok || n.lose(n.cfg.DownlinkLoss) {
+		if !ok || n.down[q.to] || n.lose(n.cfg.DownlinkLoss) || n.geLose(metrics.Downlink) {
 			n.counters.RecordDrop(metrics.Downlink)
 			return 0
 		}
@@ -255,16 +405,26 @@ func (n *Network) deliverBroadcast(q queued) int {
 	}
 	delivered := 0
 	for _, id := range n.sortedIDs() {
-		pos, ok := n.positions(id)
-		if !ok || !inCell[n.cfg.Geometry.CellOf(pos)] {
+		pos, posOK := n.positions(id)
+		if !posOK || !inCell[n.cfg.Geometry.CellOf(pos)] {
 			continue
 		}
-		if n.lose(n.cfg.BroadcastLoss) {
+		// Re-check membership per recipient: a handler earlier in this
+		// fan-out may have detached this client (sortedIDs is a snapshot —
+		// DetachClient marks it dirty but the slice we range over is
+		// already bound), in which case the transmission is a drop, not a
+		// nil-interface call.
+		h, ok := n.clients[id]
+		if !ok {
+			n.counters.RecordDrop(metrics.Broadcast)
+			continue
+		}
+		if n.down[id] || n.lose(n.cfg.BroadcastLoss) || n.geLose(metrics.Broadcast) {
 			n.counters.RecordDrop(metrics.Broadcast)
 			continue
 		}
 		n.counters.RecordDeliver(metrics.Broadcast)
-		n.clients[id].HandleServerMessage(q.msg)
+		h.HandleServerMessage(q.msg)
 		delivered++
 	}
 	return delivered
@@ -272,6 +432,39 @@ func (n *Network) deliverBroadcast(q queued) int {
 
 func (n *Network) lose(p float64) bool {
 	return p > 0 && n.rng.Float64() < p
+}
+
+// geLose advances the direction's Gilbert–Elliott chain one delivery
+// attempt and reports whether the attempt is lost. Disabled channels
+// consume no randomness.
+func (n *Network) geLose(dir metrics.Direction) bool {
+	var g GEChannel
+	switch dir {
+	case metrics.Uplink:
+		g = n.cfg.Faults.UplinkGE
+	case metrics.Downlink:
+		g = n.cfg.Faults.DownlinkGE
+	case metrics.Broadcast:
+		g = n.cfg.Faults.BroadcastGE
+	}
+	if !g.enabled() {
+		return false
+	}
+	p := g.LossGood
+	if n.geBad[dir] {
+		p = g.LossBad
+	}
+	lost := p > 0 && n.frng.Float64() < p
+	if n.geBad[dir] {
+		if g.PBadGood > 0 && n.frng.Float64() < g.PBadGood {
+			n.geBad[dir] = false
+		}
+	} else {
+		if g.PGoodBad > 0 && n.frng.Float64() < g.PGoodBad {
+			n.geBad[dir] = true
+		}
+	}
+	return lost
 }
 
 func (n *Network) sortedIDs() []model.ObjectID {
