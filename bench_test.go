@@ -135,6 +135,13 @@ func BenchmarkFig17LossRobustness(b *testing.B) {
 	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig17LossRobustness() })
 }
 
+// BenchmarkFig19LargeScale regenerates Fig 19: audit-free traffic and
+// server time up to N = 100 000 — the guard that the simulated medium's
+// cell-indexed fan-out keeps large populations affordable.
+func BenchmarkFig19LargeScale(b *testing.B) {
+	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig19LargeScale() })
+}
+
 // BenchmarkTable2Breakdown regenerates Table 2: message breakdown by kind
 // and direction.
 func BenchmarkTable2Breakdown(b *testing.B) {

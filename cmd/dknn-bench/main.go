@@ -6,6 +6,7 @@
 //
 //	dknn-bench [-profile full|smoke] [-only fig5,table3] [-markdown]
 //	           [-workers N] [-json out.json]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The full profile is paper-scale (tens of thousands of objects; expect
 // minutes per experiment). The smoke profile runs the same grid at unit
@@ -20,7 +21,13 @@
 //
 // -json additionally writes a machine-readable report — per-experiment
 // wall-clock, the worker count used, and host parallelism — which is how
-// the checked-in BENCH_PR1.json baselines were produced.
+// the checked-in BENCH_PR1.json and BENCH_PR3.json baselines were
+// produced.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiments (see README.md §Profiling), which is how hot-path
+// regressions in the simulated medium and the server are diagnosed from
+// a reproducible command line.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,7 +73,38 @@ func main() {
 	seeds := flag.Int("seeds", 1, "repetitions per cell with distinct workload seeds (mean reported)")
 	workers := flag.Int("workers", 0, "worker pool size for experiment cells (0 = GOMAXPROCS; Serial experiments ignore it)")
 	jsonPath := flag.String("json", "", "also write a machine-readable timing report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// The report → answer path is the server's per-message hot loop: applying
+// an in-boundary MoveReport and recomputing the (unchanged) answer must
+// not allocate — the accumulator, fill, and added/removed scratch all
+// live on the monitor.
+func TestReportAnswerPathDoesNotAllocate(t *testing.T) {
+	srv, side, now := benchServer(t)
+	*now = 1
+	inst := benchInstall(t, srv, side)
+	// Box the message once: the per-call interface conversion is the
+	// caller's concern, not the server path under test.
+	var msg protocol.Message = protocol.MoveReport{MemberReport: protocol.MemberReport{
+		Query: 1, Epoch: inst.Epoch, Object: 3, Pos: geo.Pt(520, 501), At: 1,
+	}}
+	for i := 0; i < 4; i++ {
+		srv.HandleUplink(3, msg) // warm the per-monitor scratch
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		srv.HandleUplink(3, msg)
+	}); avg != 0 {
+		t.Errorf("MoveReport path allocates %.1f times per report, want 0", avg)
+	}
+}
+
+// Register must keep s.order sorted via binary-search insert (no full
+// re-sort), and deregister must splice by binary search — out-of-order
+// registration and interleaved removal exercise both.
+func TestRegisterOrderMaintained(t *testing.T) {
+	srv, _, now := benchServer(t)
+	*now = 1
+	for _, q := range []model.QueryID{40, 10, 30, 20, 50, 25} {
+		srv.HandleUplink(model.ObjectID(q), protocol.QueryRegister{
+			Query: q, K: 1, Pos: geo.Pt(500, 500), At: 1,
+		})
+	}
+	want := []model.QueryID{10, 20, 25, 30, 40, 50}
+	if len(srv.order) != len(want) {
+		t.Fatalf("order = %v, want %v", srv.order, want)
+	}
+	for i, q := range want {
+		if srv.order[i] != q {
+			t.Fatalf("order = %v, want %v", srv.order, want)
+		}
+	}
+	srv.HandleUplink(30, protocol.QueryDeregister{Query: 30})
+	srv.HandleUplink(10, protocol.QueryDeregister{Query: 10})
+	srv.HandleUplink(50, protocol.QueryDeregister{Query: 50})
+	want = []model.QueryID{20, 25, 40}
+	if len(srv.order) != len(want) {
+		t.Fatalf("after deregister: order = %v, want %v", srv.order, want)
+	}
+	for i, q := range want {
+		if srv.order[i] != q {
+			t.Fatalf("after deregister: order = %v, want %v", srv.order, want)
+		}
+	}
+}

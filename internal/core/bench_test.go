@@ -80,7 +80,7 @@ func benchCfg() Config {
 	}.WithWorldDefault(geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000)))
 }
 
-func benchServer(b *testing.B) (*Server, *recSide, *model.Tick) {
+func benchServer(b testing.TB) (*Server, *recSide, *model.Tick) {
 	b.Helper()
 	now := new(model.Tick)
 	side := &recSide{}
@@ -99,7 +99,7 @@ func benchServer(b *testing.B) (*Server, *recSide, *model.Tick) {
 
 // benchInstall registers a k=10 query and completes its probe with 25
 // repliers.
-func benchInstall(b *testing.B, srv *Server, side *recSide) protocol.MonitorInstall {
+func benchInstall(b testing.TB, srv *Server, side *recSide) protocol.MonitorInstall {
 	b.Helper()
 	srv.HandleUplink(500, protocol.QueryRegister{Query: 1, K: 10, Pos: geo.Pt(500, 500), At: 1})
 	srv.Tick(1)

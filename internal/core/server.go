@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -112,6 +112,19 @@ type monitor struct {
 	probeDue    model.Tick
 	lastProbeAt model.Tick
 	replies     *knn.CandidateSet
+
+	// Report-path scratch, reused across calls so the steady-state
+	// report → answer path performs no allocations. accBuf backs
+	// mon.answer (Answer and sendFullAnswer copy before the next
+	// recompute overwrites it); the delta send path copies addedBuf and
+	// removedBuf into the outgoing message because the transport retains
+	// message payloads until delivery.
+	accBuf     []model.Neighbor
+	extraBuf   []model.Neighbor
+	addedBuf   []model.Neighbor
+	removedBuf []model.ObjectID
+	accSet     map[model.ObjectID]bool
+	goneBuf    []model.ObjectID
 }
 
 // BusyTime returns the cumulative wall-clock time spent processing.
@@ -300,8 +313,10 @@ func (s *Server) register(v protocol.QueryRegister, from model.ObjectID) {
 		needsReinstall: true,
 	}
 	s.monitors[v.Query] = mon
-	s.order = append(s.order, v.Query)
-	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	// s.order stays sorted: insert at the binary-search position instead
+	// of re-sorting the whole slice on every registration.
+	i, _ := slices.BinarySearch(s.order, v.Query)
+	s.order = slices.Insert(s.order, i, v.Query)
 }
 
 func (s *Server) deregister(q model.QueryID) {
@@ -313,11 +328,8 @@ func (s *Server) deregister(q model.QueryID) {
 		s.deps.Side.Broadcast(mon.prevRegion, protocol.MonitorCancel{Query: q, Epoch: mon.epoch})
 	}
 	delete(s.monitors, q)
-	for i, id := range s.order {
-		if id == q {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
+	if i, found := slices.BinarySearch(s.order, q); found {
+		s.order = slices.Delete(s.order, i, i+1)
 	}
 }
 
@@ -402,12 +414,15 @@ func (s *Server) refreshInstall(mon *monitor, now model.Tick) {
 	if mon.rng > 0 {
 		rk = mon.rng
 	} else {
-		acc := make([]model.Neighbor, 0, len(mon.inside))
+		// accBuf is free here: its previous contents (mon.answer) are
+		// rebuilt by the trailing refreshAnswer before anyone reads them.
+		acc := mon.accBuf[:0]
 		for id := range mon.inside {
 			if p, ok := mon.cands.Position(id); ok {
 				acc = append(acc, model.Neighbor{ID: id, Dist: p.Dist(center)})
 			}
 		}
+		mon.accBuf = acc
 		model.SortNeighbors(acc)
 		if len(acc) < mon.k {
 			// Positions for some inside ids are missing (cannot happen in
@@ -435,13 +450,14 @@ func (s *Server) refreshInstall(mon *monitor, now model.Tick) {
 	// Objects strictly outside the new circle will exit/drop themselves;
 	// prune candidates whose last known position is already outside so
 	// stale annulus entries do not accumulate.
-	var gone []model.ObjectID
+	gone := mon.goneBuf[:0]
 	mon.cands.Visit(func(id model.ObjectID, p geo.Point) bool {
 		if p.Dist(center) > radius && !mon.inside[id] {
 			gone = append(gone, id)
 		}
 		return true
 	})
+	mon.goneBuf = gone
 	for _, id := range gone {
 		mon.cands.Remove(id)
 	}
@@ -674,7 +690,9 @@ func (s *Server) install(mon *monitor, now model.Tick, center geo.Point, rk, rad
 func (s *Server) computeAnswer(mon *monitor, now model.Tick) []model.Neighbor {
 	center := mon.qEst(now, s.deps.DT)
 
-	acc := make([]model.Neighbor, 0, len(mon.inside)+4)
+	// Build into the per-monitor scratch: this runs once per applied
+	// report, so it must not allocate in steady state.
+	acc := mon.accBuf[:0]
 	for id := range mon.inside {
 		if p, ok := mon.cands.Position(id); ok {
 			acc = append(acc, model.Neighbor{ID: id, Dist: p.Dist(center)})
@@ -689,13 +707,14 @@ func (s *Server) computeAnswer(mon *monitor, now model.Tick) []model.Neighbor {
 	} else if len(acc) < mon.k && mon.cands.Len() > len(acc) {
 		// Best-effort fill from annulus candidates (stale positions) while
 		// a fallback probe is pending.
-		extra := make([]model.Neighbor, 0, mon.cands.Len()-len(acc))
+		extra := mon.extraBuf[:0]
 		mon.cands.Visit(func(id model.ObjectID, p geo.Point) bool {
 			if !mon.inside[id] {
 				extra = append(extra, model.Neighbor{ID: id, Dist: p.Dist(center)})
 			}
 			return true
 		})
+		mon.extraBuf = extra
 		model.SortNeighbors(extra)
 		need := mon.k - len(acc)
 		if need > len(extra) {
@@ -704,6 +723,7 @@ func (s *Server) computeAnswer(mon *monitor, now model.Tick) []model.Neighbor {
 		acc = append(acc, extra[:need]...)
 		model.SortNeighbors(acc)
 	}
+	mon.accBuf = acc
 	mon.answer = acc
 	return acc
 }
@@ -731,36 +751,57 @@ func (s *Server) sendFullAnswer(mon *monitor, acc []model.Neighbor, now model.Ti
 func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
 	acc := s.computeAnswer(mon, now)
 
+	// The common case is "nothing changed": detect it with the reused
+	// added scratch so the no-send path is allocation-free.
 	changed := len(acc) != len(mon.sent)
-	var added []model.Neighbor
+	added := mon.addedBuf[:0]
 	for _, n := range acc {
 		if !mon.sent[n.ID] {
 			changed = true
 			added = append(added, n)
 		}
 	}
+	mon.addedBuf = added
 	if !changed {
 		return
 	}
 	if s.cfg.DeltaAnswers && !mon.rebaseline {
-		accSet := make(map[model.ObjectID]bool, len(acc))
-		for _, n := range acc {
-			accSet[n.ID] = true
+		if mon.accSet == nil {
+			mon.accSet = make(map[model.ObjectID]bool, len(acc))
+		} else {
+			clear(mon.accSet)
 		}
-		var removed []model.ObjectID
+		for _, n := range acc {
+			mon.accSet[n.ID] = true
+		}
+		removed := mon.removedBuf[:0]
 		for id := range mon.sent {
-			if !accSet[id] {
+			if !mon.accSet[id] {
 				removed = append(removed, id)
 			}
 		}
-		sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+		slices.Sort(removed)
+		mon.removedBuf = removed
 		clear(mon.sent)
 		for _, n := range acc {
 			mon.sent[n.ID] = true
 		}
 		mon.answerSeq++
+		// The transport retains the payload until delivery, and the scratch
+		// slices will be overwritten by the next report; the outgoing delta
+		// gets its own copies (nil stays nil, matching the old wire shape).
+		var outAdded []model.Neighbor
+		if len(added) > 0 {
+			outAdded = make([]model.Neighbor, len(added))
+			copy(outAdded, added)
+		}
+		var outRemoved []model.ObjectID
+		if len(removed) > 0 {
+			outRemoved = make([]model.ObjectID, len(removed))
+			copy(outRemoved, removed)
+		}
 		s.deps.Side.Downlink(mon.addr, protocol.AnswerDelta{
-			Query: mon.query, Seq: mon.answerSeq, At: now, Added: added, Removed: removed,
+			Query: mon.query, Seq: mon.answerSeq, At: now, Added: outAdded, Removed: outRemoved,
 		})
 		return
 	}

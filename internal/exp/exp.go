@@ -355,9 +355,13 @@ type Profile struct {
 	// CBTau, when positive, adds the predictive dead-reckoning baseline
 	// to every comparison (an extension beyond the paper's own two
 	// baselines).
-	CBTau      float64
-	Ns         []int
-	Ks         []int
+	CBTau float64
+	Ns    []int
+	// LargeNs are the fig19 large-population points. They run audit-free
+	// with a short horizon, so they can reach populations (100k+) far
+	// beyond what the audited sweeps afford.
+	LargeNs []int
+	Ks      []int
 	ObjSpeeds  []float64
 	QrySpeeds  []float64
 	Qs         []int
@@ -382,6 +386,7 @@ func FullProfile() Profile {
 		Proto:       core.DefaultConfig(),
 		CITau:       50,
 		Ns:          []int{5000, 10000, 20000, 40000, 80000},
+		LargeNs:     []int{25000, 50000, 100000},
 		Ks:          []int{1, 5, 10, 20, 50},
 		ObjSpeeds:   []float64{5, 10, 20, 40},
 		QrySpeeds:   []float64{0, 5, 20, 40},
@@ -411,6 +416,7 @@ func SmokeProfile() Profile {
 		CITau:       20,
 		CBTau:       20,
 		Ns:          []int{300, 600, 1200},
+		LargeNs:     []int{10000, 30000, 100000},
 		Ks:          []int{1, 5, 10},
 		ObjSpeeds:   []float64{5, 10, 20},
 		QrySpeeds:   []float64{0, 10, 20},
@@ -454,6 +460,7 @@ func Suite(p Profile) []*Experiment {
 		p.Fig16ShardScaling(),
 		p.Fig17LossRobustness(),
 		p.Fig18BurstLoss(),
+		p.Fig19LargeScale(),
 		p.Table3Accuracy(),
 		p.Table4Mobility(),
 	}
@@ -716,6 +723,32 @@ func (p Profile) Fig18BurstLoss() *Experiment {
 		ge := simnet.BurstLoss(loss, p.BurstLen)
 		cfg.Faults = simnet.FaultConfig{UplinkGE: ge, DownlinkGE: ge, BroadcastGE: ge}
 		e.Points = append(e.Points, Point{fmt.Sprintf("%.0f%%", loss*100), cfg})
+	}
+	return e
+}
+
+// Fig19LargeScale: per-tick traffic and server wall-clock at populations
+// far beyond the paper's sweeps, up to 100k objects — feasible since the
+// simulated medium resolves broadcast audiences through the per-cell
+// client index instead of scanning the whole population per message.
+// Auditing is disabled (maintaining 100k-object ground truth would
+// dominate the runtime; answer quality at scale is covered by table3) and
+// each point runs a short horizon: the steady-state per-tick costs are
+// what scale with N, not the duration.
+func (p Profile) Fig19LargeScale() *Experiment {
+	e := &Experiment{
+		ID: "fig19", Title: "Large-population scaling: traffic and server time (audit-free)",
+		XLabel:  "N",
+		Methods: []MethodSpec{CI(p.CITau), DKNN(p.Proto)},
+		Metrics: []Metric{MetricUplink, MetricDown, MetricServer},
+		Serial:  true, // reports MetricServer (wall-clock)
+	}
+	for _, n := range p.LargeNs {
+		cfg := workload.WithObjects(p.Base, n)
+		cfg.Ticks = 12
+		cfg.Warmup = 3
+		cfg.DisableAudit = true
+		e.Points = append(e.Points, Point{fmt.Sprint(n), cfg})
 	}
 	return e
 }

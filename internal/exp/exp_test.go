@@ -33,8 +33,8 @@ func tiny() Profile {
 
 func TestSuiteStructure(t *testing.T) {
 	suite := Suite(tiny())
-	if len(suite) != 16 {
-		t.Fatalf("suite has %d experiments, want 16", len(suite))
+	if len(suite) != 17 {
+		t.Fatalf("suite has %d experiments, want 17", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, e := range suite {
@@ -54,7 +54,7 @@ func TestSuiteStructure(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table3", "table4"} {
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "table3", "table4"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}
@@ -89,6 +89,29 @@ func TestFig5RunAndShape(t *testing.T) {
 	ratio := dknn[1] / dknn[0]
 	if ratio > 1.8 {
 		t.Errorf("DKNN grew %vx for 2x objects", ratio)
+	}
+}
+
+// Fig19 runs audit-free with a short horizon; at test scale it must
+// produce one row per LargeNs point with sane (positive-traffic) cells.
+func TestFig19RunAndShape(t *testing.T) {
+	p := tiny()
+	p.LargeNs = []int{400, 800}
+	tbl, err := p.Fig19LargeScale().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(p.LargeNs) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(p.LargeNs))
+	}
+	up, ok := tbl.Column("DKNN uplink/tick")
+	if !ok {
+		t.Fatalf("no DKNN uplink column in %v", tbl.Columns)
+	}
+	for i, v := range up {
+		if v <= 0 {
+			t.Errorf("row %d: DKNN uplink/tick = %v, want > 0", i, v)
+		}
 	}
 }
 
@@ -283,6 +306,7 @@ func TestSerialExperimentsAndWorkerStamp(t *testing.T) {
 	p.Workers = 3
 	serialIDs := map[string]bool{
 		"fig10": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
+		"fig19": true,
 	}
 	for _, e := range Suite(p) {
 		if e.Serial != serialIDs[e.ID] {

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmknn/internal/workload"
+)
+
+// The golden-table invariant: refactors of the simulation medium and the
+// server hot paths must leave every zero-fault experiment table (and the
+// deterministic faulted fig18, which uses burst loss but neither jitter
+// nor duplication) byte-identical. The files under testdata/golden were
+// produced by the pre-refactor linear fan-out and full-queue-partition
+// network; regenerate deliberately with
+//
+//	go test ./internal/exp -run TestGoldenTables -update-golden
+//
+// only when an intentional behavior change is being made.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current implementation")
+
+// goldenProfile pins a small deterministic slice of the evaluation grid.
+// It must never change: the goldens lock the rendered output bit-for-bit.
+func goldenProfile() Profile {
+	p := SmokeProfile()
+	p.Base.Ticks = 20
+	p.Base.Warmup = 5
+	p.Base.NumObjects = 250
+	p.Base.NumQueries = 4
+	p.Ns = []int{150, 300}
+	p.Ks = []int{1, 5}
+	p.Qs = []int{1, 8}
+	p.Losses = []float64{0, 0.05}
+	p.BurstLosses = []float64{0, 0.10}
+	p.Mobilities = []string{workload.ModelWaypoint, workload.ModelManhattan}
+	return p
+}
+
+// goldenExperiments picks the experiments whose tables exercise the
+// broadcast fan-out, the delivery queue, and both answer paths (full and
+// delta): population scaling, query scaling (many concurrent regions),
+// independent loss, bursty loss with delta answers, and mobility.
+// Wall-clock experiments are excluded — their values are not
+// deterministic.
+func goldenExperiments(p Profile) []*Experiment {
+	return []*Experiment{
+		p.Fig5ObjectScaling(),
+		p.Fig11QueryScaling(),
+		p.Fig17LossRobustness(),
+		p.Fig18BurstLoss(),
+		p.Table4Mobility(),
+	}
+}
+
+func TestGoldenTables(t *testing.T) {
+	p := goldenProfile()
+	for _, e := range goldenExperiments(p) {
+		tbl, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		got := tbl.Render() + "\n" + tbl.CSV()
+		path := filepath.Join("testdata", "golden", e.ID+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update-golden): %v", e.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: table differs from golden\n--- got\n%s\n--- want\n%s", e.ID, got, want)
+		}
+	}
+}

@@ -108,28 +108,46 @@ func (g Geometry) CellRect(c Cell) geo.Rect {
 	}
 }
 
-// CellsIntersecting returns every cell whose rectangle intersects the
-// circle. The distributed server uses it to address monitor-install
-// broadcasts, and the simulated network uses it to resolve broadcast
-// recipients.
-func (g Geometry) CellsIntersecting(c geo.Circle) []Cell {
+// VisitCellsIntersecting calls visit for every cell whose rectangle
+// intersects the circle, in row-major order (the same order
+// CellsIntersecting returns), stopping early when visit returns false.
+// It allocates nothing: the simulated network iterates broadcast cell
+// unions with it on every send and every delivery.
+func (g Geometry) VisitCellsIntersecting(c geo.Circle, visit func(Cell) bool) {
 	if c.R < 0 {
-		return nil
+		return
 	}
 	br := c.BoundingRect()
 	lo := g.CellOf(br.Min)
 	hi := g.CellOf(br.Max)
-	var out []Cell
 	for row := lo.Row; row <= hi.Row; row++ {
 		for col := lo.Col; col <= hi.Col; col++ {
 			cell := Cell{col, row}
-			if c.IntersectsRect(g.CellRect(cell)) {
-				out = append(out, cell)
+			if c.IntersectsRect(g.CellRect(cell)) && !visit(cell) {
+				return
 			}
 		}
 	}
+}
+
+// CellsIntersecting returns every cell whose rectangle intersects the
+// circle. The distributed server uses it to address monitor-install
+// broadcasts; callers on a hot path should prefer VisitCellsIntersecting,
+// which does not allocate the result slice.
+func (g Geometry) CellsIntersecting(c geo.Circle) []Cell {
+	var out []Cell
+	g.VisitCellsIntersecting(c, func(cell Cell) bool {
+		out = append(out, cell)
+		return true
+	})
 	return out
 }
+
+// CellIndex returns the dense row-major index of cell c in [0, NumCells).
+// Components that keep per-cell state in a flat slice (the simulated
+// network's client index, the grid's own object buckets) address it with
+// this.
+func (g Geometry) CellIndex(c Cell) int { return c.Row*g.cols + c.Col }
 
 type entry struct {
 	pos  geo.Point

@@ -466,3 +466,69 @@ func TestKNNRangeScratchReuse(t *testing.T) {
 		t.Errorf("scratch path allocates %v per call, nil path %v", withScratch, withNil)
 	}
 }
+
+// VisitCellsIntersecting must enumerate exactly the CellsIntersecting set
+// in the same order, honor early stop, and allocate nothing.
+func TestVisitCellsIntersectingMatchesSlice(t *testing.T) {
+	g := NewGeometry(world(), 10, 10)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		c := geo.Circle{
+			Center: geo.Pt(rng.Float64()*1200-100, rng.Float64()*1200-100),
+			R:      rng.Float64()*400 - 10, // sometimes negative
+		}
+		want := g.CellsIntersecting(c)
+		var got []Cell
+		g.VisitCellsIntersecting(c, func(cell Cell) bool {
+			got = append(got, cell)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: visited %d cells, slice has %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: cell %d = %v, want %v (order must match)", trial, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Early stop.
+	seen := 0
+	g.VisitCellsIntersecting(geo.Circle{Center: geo.Pt(500, 500), R: 400}, func(Cell) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early stop visited %d cells, want 3", seen)
+	}
+
+	// The visitor is the allocation-free hot path of the broadcast medium.
+	c := geo.Circle{Center: geo.Pt(500, 500), R: 250}
+	n := 0
+	if allocs := testing.AllocsPerRun(50, func() {
+		g.VisitCellsIntersecting(c, func(Cell) bool { n++; return true })
+	}); allocs != 0 {
+		t.Errorf("VisitCellsIntersecting allocates %v per call", allocs)
+	}
+}
+
+// CellIndex must be the dense row-major index consistent with CellRect
+// tiling and stay inside [0, NumCells).
+func TestCellIndexDense(t *testing.T) {
+	g := NewGeometry(world(), 7, 5)
+	seen := make([]bool, g.NumCells())
+	cols, rows := g.Dims()
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			idx := g.CellIndex(Cell{col, row})
+			if idx < 0 || idx >= g.NumCells() {
+				t.Fatalf("CellIndex(%d,%d) = %d out of range", col, row, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("CellIndex(%d,%d) = %d collides", col, row, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// tagRec records the tag (Query field) of every broadcast it hears, so two
+// networks' per-client delivery sequences can be compared exactly.
+type tagRec struct{ seen []model.QueryID }
+
+func (r *tagRec) HandleServerMessage(m protocol.Message) {
+	if a, ok := m.(protocol.AnswerUpdate); ok {
+		r.seen = append(r.seen, a.Query)
+	}
+}
+
+// fanoutWorld drives one network through a scripted random scenario. The
+// script is derived from its own generator (independent of the network's
+// loss/fault generators), so two worlds built from the same script seed
+// perform identical operations in identical order.
+type fanoutWorld struct {
+	net     *Network
+	clients map[model.ObjectID]*tagRec
+	pos     map[model.ObjectID]geo.Point
+}
+
+func newFanoutWorld(cfg Config, linear bool) *fanoutWorld {
+	w := &fanoutWorld{
+		net:     New(cfg),
+		clients: make(map[model.ObjectID]*tagRec),
+		pos:     make(map[model.ObjectID]geo.Point),
+	}
+	w.net.linearFanout = linear
+	w.net.SetPositionOracle(func(id model.ObjectID) (geo.Point, bool) {
+		p, ok := w.pos[id]
+		return p, ok
+	})
+	return w
+}
+
+func (w *fanoutWorld) attach(id model.ObjectID, p geo.Point) {
+	rec := &tagRec{}
+	w.clients[id] = rec
+	w.pos[id] = p
+	w.net.AttachClient(id, rec)
+}
+
+// The tentpole equivalence invariant: the cell-indexed fan-out and the
+// linear reference fan-out must be indistinguishable — identical
+// per-client delivery sequences, identical counters per direction,
+// identical duplication counts, and identical consumption of both the
+// base-loss and fault RNG streams — under random positions, churn, down
+// clients, loss, burst loss, jitter, and duplication.
+func TestIndexedFanoutMatchesLinear(t *testing.T) {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := Config{
+				Geometry:      grid.NewGeometry(world, 16, 16),
+				LatencyTicks:  1,
+				BroadcastLoss: 0.2,
+				DownlinkLoss:  0.1,
+				Seed:          seed,
+				Faults: FaultConfig{
+					BroadcastGE:   BurstLoss(0.15, 3),
+					JitterTicks:   2,
+					DuplicateProb: 0.25,
+				},
+			}
+			script := rand.New(rand.NewSource(seed * 7919))
+			randPt := func() geo.Point {
+				return geo.Pt(script.Float64()*1000, script.Float64()*1000)
+			}
+
+			a := newFanoutWorld(cfg, false) // indexed (production) path
+			b := newFanoutWorld(cfg, true)  // linear reference path
+			nextID := model.ObjectID(1)
+			for i := 0; i < 60; i++ {
+				p := randPt()
+				a.attach(nextID, p)
+				b.attach(nextID, p)
+				nextID++
+			}
+
+			for tick := model.Tick(1); tick <= 50; tick++ {
+				// Move ~half the population.
+				for id := range a.pos {
+					if script.Intn(2) == 0 {
+						p := randPt()
+						a.pos[id] = p
+						b.pos[id] = p
+					}
+				}
+				// Churn: occasionally attach a newcomer or detach a victim.
+				if script.Intn(4) == 0 {
+					p := randPt()
+					a.attach(nextID, p)
+					b.attach(nextID, p)
+					nextID++
+				}
+				if script.Intn(5) == 0 && nextID > 2 {
+					victim := model.ObjectID(script.Intn(int(nextID)-1) + 1)
+					a.net.DetachClient(victim)
+					b.net.DetachClient(victim)
+				}
+				// Down/up churn (down ids may or may not be attached).
+				if script.Intn(3) == 0 {
+					id := model.ObjectID(script.Intn(int(nextID)) + 1)
+					down := script.Intn(2) == 0
+					a.net.SetClientDown(id, down)
+					b.net.SetClientDown(id, down)
+				}
+				// One to three broadcasts with varied coverage, including
+				// degenerate regions that cover no cells.
+				for j := script.Intn(3) + 1; j > 0; j-- {
+					r := script.Float64()*300 - 10
+					c := geo.Circle{Center: randPt(), R: r}
+					tag := protocol.AnswerUpdate{Query: model.QueryID(tick*100 + model.Tick(j))}
+					a.net.ServerSide().Broadcast(c, tag)
+					b.net.ServerSide().Broadcast(c, tag)
+				}
+				// A few downlinks keep the bucketed queue mixing directions.
+				for j := script.Intn(2); j > 0; j-- {
+					to := model.ObjectID(script.Intn(int(nextID)) + 1)
+					a.net.ServerSide().Downlink(to, protocol.MonitorCancel{Query: 1})
+					b.net.ServerSide().Downlink(to, protocol.MonitorCancel{Query: 1})
+				}
+				a.net.SetNow(tick)
+				b.net.SetNow(tick)
+				da, db := a.net.Flush(), b.net.Flush()
+				if da != db {
+					t.Fatalf("tick %d: delivered %d (indexed) vs %d (linear)", tick, da, db)
+				}
+				if pa, pb := a.net.PendingCount(), b.net.PendingCount(); pa != pb {
+					t.Fatalf("tick %d: pending %d vs %d", tick, pa, pb)
+				}
+			}
+			// Drain the in-flight tail.
+			a.net.SetNow(60)
+			b.net.SetNow(60)
+			a.net.Flush()
+			b.net.Flush()
+
+			for _, dir := range []metrics.Direction{metrics.Uplink, metrics.Downlink, metrics.Broadcast} {
+				ca, cb := a.net.Counters(), b.net.Counters()
+				if ca.Sent(dir) != cb.Sent(dir) || ca.Delivered(dir) != cb.Delivered(dir) || ca.Dropped(dir) != cb.Dropped(dir) {
+					t.Errorf("dir %d: counters differ: sent %d/%d delivered %d/%d dropped %d/%d",
+						dir, ca.Sent(dir), cb.Sent(dir), ca.Delivered(dir), cb.Delivered(dir), ca.Dropped(dir), cb.Dropped(dir))
+				}
+				if a.net.Duplicated(dir) != b.net.Duplicated(dir) {
+					t.Errorf("dir %d: duplicated %d vs %d", dir, a.net.Duplicated(dir), b.net.Duplicated(dir))
+				}
+			}
+			for id, ra := range a.clients {
+				rb := b.clients[id]
+				if len(ra.seen) != len(rb.seen) {
+					t.Fatalf("client %d: heard %d broadcasts (indexed) vs %d (linear)", id, len(ra.seen), len(rb.seen))
+				}
+				for i := range ra.seen {
+					if ra.seen[i] != rb.seen[i] {
+						t.Fatalf("client %d: delivery %d is %d (indexed) vs %d (linear)", id, i, ra.seen[i], rb.seen[i])
+					}
+				}
+			}
+			// Both generators of both networks must sit at the same stream
+			// position: the next draw from each pair must agree.
+			if a.net.rng.Float64() != b.net.rng.Float64() {
+				t.Error("base loss RNG streams diverged")
+			}
+			if a.net.frng.Float64() != b.net.frng.Float64() {
+				t.Error("fault RNG streams diverged")
+			}
+		})
+	}
+}
+
+// The broadcast delivery path must be allocation-free in steady state:
+// index refresh, audience gathering, sorting, bucket push/drain, and the
+// per-recipient loss draws all reuse held storage.
+func TestBroadcastDeliveryDoesNotAllocate(t *testing.T) {
+	w := newFanoutWorld(Config{
+		Geometry:      grid.NewGeometry(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 16, 16),
+		BroadcastLoss: 0.1,
+	}, false)
+	rng := rand.New(rand.NewSource(42))
+	for id := model.ObjectID(1); id <= 500; id++ {
+		w.attach(id, geo.Pt(rng.Float64()*1000, rng.Float64()*1000))
+	}
+	var msg protocol.Message = protocol.MonitorCancel{Query: 7}
+	region := geo.Circle{Center: geo.Pt(500, 500), R: 150}
+	tick := model.Tick(0)
+	cycle := func() {
+		tick++
+		w.net.SetNow(tick)
+		w.net.ServerSide().Broadcast(region, msg)
+		w.net.ServerSide().Broadcast(region, msg)
+		w.net.Flush()
+	}
+	// Warm up scratch capacities, then demand zero steady-state allocs.
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("broadcast+flush cycle allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// BenchmarkBroadcastFanout measures a flush delivering a burst of
+// fixed-radius region broadcasts against populations of 1k/10k/100k, on
+// both the indexed (production) and linear (reference) paths. The indexed
+// path pays one position re-resolution per client per flush plus work
+// proportional to the regions' populations; the linear path scans every
+// client once per broadcast.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	world := geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000))
+	const broadcastsPerFlush = 8
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, mode := range []string{"indexed", "linear"} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, mode), func(b *testing.B) {
+				w := newFanoutWorld(Config{
+					Geometry: grid.NewGeometry(world, 64, 64),
+				}, mode == "linear")
+				rng := rand.New(rand.NewSource(1))
+				for id := model.ObjectID(1); id <= model.ObjectID(n); id++ {
+					w.attach(id, geo.Pt(rng.Float64()*10000, rng.Float64()*10000))
+				}
+				var msg protocol.Message = protocol.MonitorCancel{Query: 1}
+				regions := make([]geo.Circle, broadcastsPerFlush)
+				for i := range regions {
+					regions[i] = geo.Circle{
+						Center: geo.Pt(rng.Float64()*10000, rng.Float64()*10000),
+						R:      250,
+					}
+				}
+				tick := model.Tick(0)
+				flushBurst := func() {
+					tick++
+					w.net.SetNow(tick)
+					for _, r := range regions {
+						w.net.ServerSide().Broadcast(r, msg)
+					}
+					w.net.Flush()
+				}
+				// Warm up so scratch growth is excluded from the steady state.
+				for i := 0; i < 4; i++ {
+					flushBurst()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					flushBurst()
+				}
+			})
+		}
+	}
+}

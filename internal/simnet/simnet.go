@@ -11,10 +11,18 @@
 //   - Flush delivers all due messages in FIFO order, including messages
 //     enqueued by handlers during the flush, until the network is
 //     quiescent. The protocol state machines guarantee quiescence; a
-//     round limit turns a violation into a loud failure.
+//     round limit turns a violation into a loud failure. Internally the
+//     queue is a ring of per-tick buckets, so a flush round touches only
+//     the messages that are actually due; without jitter, due ticks are
+//     monotone in enqueue order and bucket order equals global FIFO
+//     bit-for-bit. With jitter enabled, delivery runs in due-tick order
+//     (FIFO within a tick) — jitter breaks FIFO by design.
 //   - Broadcasts are cell-granular: a region broadcast is accounted as
 //     one transmission per intersecting grid cell, and is heard by every
-//     client whose current position lies in one of those cells.
+//     client whose current position lies in one of those cells. The
+//     audience is resolved from an incrementally maintained per-cell
+//     client index, so delivery cost scales with the region's population,
+//     not the network's.
 //   - Loss is independent per recipient with configurable probability per
 //     direction, from a seeded generator: runs are reproducible.
 //   - Faults (optional) compose on top of the independent loss: burst loss
@@ -29,6 +37,7 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"dmknn/internal/geo"
@@ -150,6 +159,16 @@ type queued struct {
 	msg    protocol.Message
 }
 
+// cellRef records where a client currently sits in the cell index: the
+// dense cell slot it occupies and its position within that slot's slice
+// (for O(1) swap-with-last removal). A client the position oracle cannot
+// place has located == false and sits in no cell.
+type cellRef struct {
+	idx     int
+	slot    int
+	located bool
+}
+
 // Network is the simulated medium. It is not safe for concurrent use; the
 // simulation engine drives it from one goroutine.
 type Network struct {
@@ -169,12 +188,41 @@ type Network struct {
 
 	server  transport.ServerHandler
 	clients map[model.ObjectID]transport.ClientHandler
-	ids     []model.ObjectID // sorted client ids, for deterministic fan-out
+	ids     []model.ObjectID // sorted client ids, for the linear fan-out
 	idsDirt bool
 
 	positions func(model.ObjectID) (geo.Point, bool)
 
-	queue []queued
+	// Delivery queue: a ring of per-tick buckets keyed by due tick. Every
+	// pending due lies in [bucketLow, bucketHigh) and that span never
+	// exceeds len(buckets) — the ring grows before two live ticks could
+	// alias one slot — so a flush round touches only the buckets that are
+	// actually due instead of re-partitioning the whole queue. bucketLow
+	// is a lower bound (it lags after drains), which is safe: slots
+	// between it and the true minimum are empty.
+	buckets    [][]queued
+	bucketLow  model.Tick
+	bucketHigh model.Tick
+	pending    int
+	dueScratch []queued
+
+	// Cell-indexed broadcast audience: cellIDs[Geometry.CellIndex(c)]
+	// holds the attached clients whose last resolved position lies in
+	// cell c, so a region broadcast visits only the clients of its
+	// intersecting cells. The index is refreshed from the position oracle
+	// at most once per Flush — lazily, when the first broadcast delivers —
+	// and maintained incrementally through attach/detach. recipients is
+	// the per-broadcast scratch the audience is gathered and sorted into.
+	cellIDs    [][]model.ObjectID
+	cellPos    map[model.ObjectID]cellRef
+	indexFresh bool
+	recipients []model.ObjectID
+
+	// linearFanout forces the original Θ(clients) reference fan-out. The
+	// equivalence property test and the fan-out benchmark run it side by
+	// side with the indexed path; both consume the loss generators
+	// identically.
+	linearFanout bool
 }
 
 // New returns a network with the given configuration.
@@ -194,7 +242,20 @@ func New(cfg Config) *Network {
 		frng:    rand.New(rand.NewSource(cfg.Seed ^ faultSeedMix)),
 		down:    make(map[model.ObjectID]bool),
 		clients: make(map[model.ObjectID]transport.ClientHandler),
+		buckets: make([][]queued, ringSize(cfg.LatencyTicks+cfg.Faults.JitterTicks+2)),
+		cellIDs: make([][]model.ObjectID, cfg.Geometry.NumCells()),
+		cellPos: make(map[model.ObjectID]cellRef),
 	}
+}
+
+// ringSize rounds the wanted bucket count up to a power of two (masking
+// replaces the modulo on the delivery hot path), with a small floor.
+func ringSize(want int) int {
+	size := 8
+	for size < want {
+		size *= 2
+	}
+	return size
 }
 
 // faultSeedMix decorrelates the fault generator from the base loss
@@ -238,6 +299,13 @@ func (n *Network) AttachServer(h transport.ServerHandler) { n.server = h }
 func (n *Network) AttachClient(id model.ObjectID, h transport.ClientHandler) {
 	if _, exists := n.clients[id]; !exists {
 		n.idsDirt = true
+		n.cellPos[id] = cellRef{}
+		if n.indexFresh {
+			// Mid-flush attach: the index is live for the current Flush;
+			// place the newcomer now so later broadcasts in the same flush
+			// see it, exactly as the linear scan would.
+			n.placeClient(id)
+		}
 	}
 	n.clients[id] = h
 }
@@ -248,12 +316,18 @@ func (n *Network) DetachClient(id model.ObjectID) {
 	if _, exists := n.clients[id]; exists {
 		delete(n.clients, id)
 		n.idsDirt = true
+		if ref := n.cellPos[id]; ref.located {
+			n.removeFromCell(id, ref)
+		}
+		delete(n.cellPos, id)
 	}
 }
 
 // SetPositionOracle installs the function the network uses to resolve
 // broadcast recipients. The oracle must reflect current client positions
-// at Flush time.
+// at Flush time and must not change while a Flush is in progress: the
+// network resolves each client's cell once per flush and fans broadcasts
+// out from that snapshot.
 func (n *Network) SetPositionOracle(fn func(model.ObjectID) (geo.Point, bool)) {
 	n.positions = fn
 }
@@ -283,13 +357,17 @@ func (s serverSide) Downlink(to model.ObjectID, m protocol.Message) {
 
 func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
 	n := s.n
-	cells := n.cfg.Geometry.CellsIntersecting(region)
 	size := protocol.EncodedSize(m)
+	cells := 0
+	n.cfg.Geometry.VisitCellsIntersecting(region, func(grid.Cell) bool {
+		cells++
+		return true
+	})
 	// One cell-level transmission per covered cell.
-	for range cells {
+	for i := 0; i < cells; i++ {
 		n.counters.RecordSend(metrics.Broadcast, m.Kind(), size)
 	}
-	if len(cells) == 0 {
+	if cells == 0 {
 		return
 	}
 	n.enqueue(queued{dir: metrics.Broadcast, region: region, msg: m})
@@ -307,17 +385,17 @@ func (c clientSide) Uplink(m protocol.Message) {
 }
 
 // enqueue stamps the due tick (base latency plus optional jitter) and
-// appends q, plus an independently jittered copy when the duplication
+// buckets q, plus an independently jittered copy when the duplication
 // fault fires. Fault draws happen only when the respective fault is
 // enabled, keeping zero-fault runs bit-identical to the pre-fault
 // network.
 func (n *Network) enqueue(q queued) {
 	q.due = n.dueTick()
-	n.queue = append(n.queue, q)
+	n.push(q)
 	if p := n.cfg.Faults.DuplicateProb; p > 0 && n.frng.Float64() < p {
 		d := q
 		d.due = n.dueTick()
-		n.queue = append(n.queue, d)
+		n.push(d)
 		n.dups[q.dir]++
 	}
 }
@@ -330,6 +408,44 @@ func (n *Network) dueTick() model.Tick {
 	return due
 }
 
+// push appends q to its due tick's bucket, growing the ring first if the
+// pending due span would no longer fit.
+func (n *Network) push(q queued) {
+	if n.pending == 0 {
+		n.bucketLow, n.bucketHigh = q.due, q.due+1
+	} else {
+		if q.due < n.bucketLow {
+			n.bucketLow = q.due
+		}
+		if q.due >= n.bucketHigh {
+			n.bucketHigh = q.due + 1
+		}
+	}
+	if span := int(n.bucketHigh - n.bucketLow); span > len(n.buckets) {
+		n.growBuckets(span)
+	}
+	idx := int(q.due) & (len(n.buckets) - 1)
+	n.buckets[idx] = append(n.buckets[idx], q)
+	n.pending++
+}
+
+// growBuckets doubles the ring until span due ticks fit and rehomes the
+// pending entries. A bucket holds exactly one due tick (the span
+// invariant held before the grow), so moving each bucket wholesale
+// preserves FIFO order within every tick.
+func (n *Network) growBuckets(span int) {
+	old := n.buckets
+	n.buckets = make([][]queued, ringSize(span))
+	mask := len(n.buckets) - 1
+	for _, b := range old {
+		if len(b) == 0 {
+			continue
+		}
+		idx := int(b[0].due) & mask
+		n.buckets[idx] = append(n.buckets[idx], b...)
+	}
+}
+
 // maxFlushRounds bounds handler-triggered cascades within one Flush. A
 // correct protocol quiesces in a handful of rounds; hitting the limit is a
 // protocol bug and panics loudly rather than livelocking the experiment.
@@ -339,34 +455,53 @@ const maxFlushRounds = 64
 // handlers during this flush that are also due, and returns the number of
 // deliveries performed (excluding drops).
 func (n *Network) Flush() int {
+	// Client positions may have changed since the last flush; the cell
+	// index is re-resolved from the oracle at most once per Flush, on the
+	// first broadcast delivery (see refreshCellIndex).
+	n.indexFresh = false
 	delivered := 0
 	for round := 0; ; round++ {
 		if round == maxFlushRounds {
 			panic("simnet: message cascade did not quiesce; protocol livelock")
 		}
-		// Partition the queue into due-now and later.
-		var due []queued
-		rest := n.queue[:0]
-		for _, q := range n.queue {
-			if q.due <= n.now {
-				due = append(due, q)
-			} else {
-				rest = append(rest, q)
-			}
-		}
-		n.queue = rest
+		due := n.takeDue()
 		if len(due) == 0 {
 			return delivered
 		}
-		for _, q := range due {
-			delivered += n.deliver(q)
+		for i := range due {
+			delivered += n.deliver(due[i])
 		}
 	}
 }
 
+// takeDue drains every bucket due at or before now into the reusable
+// scratch slice, in due-tick order (FIFO within a tick). The scan starts
+// at bucketLow and stops as soon as the pending count hits zero, so it
+// visits at most the live span of the ring.
+func (n *Network) takeDue() []queued {
+	out := n.dueScratch[:0]
+	if n.pending > 0 && n.bucketLow <= n.now {
+		mask := len(n.buckets) - 1
+		for t := n.bucketLow; t <= n.now && n.pending > 0; t++ {
+			idx := int(t) & mask
+			if b := n.buckets[idx]; len(b) > 0 {
+				out = append(out, b...)
+				n.pending -= len(b)
+				n.buckets[idx] = b[:0]
+			}
+		}
+		n.bucketLow = n.now + 1
+		if n.pending == 0 {
+			n.bucketHigh = n.bucketLow
+		}
+	}
+	n.dueScratch = out
+	return out
+}
+
 // PendingCount returns the number of queued (not yet delivered) entries;
 // broadcasts count once regardless of audience size.
-func (n *Network) PendingCount() int { return len(n.queue) }
+func (n *Network) PendingCount() int { return n.pending }
 
 func (n *Network) deliver(q queued) int {
 	switch q.dir {
@@ -394,26 +529,33 @@ func (n *Network) deliver(q queued) int {
 	}
 }
 
+// deliverBroadcast fans q out to every client whose cell intersects the
+// region. The audience comes from the per-cell index — only the region's
+// cells are visited, so cost is output-sensitive — and is sorted by id so
+// the fan-out order (and with it the per-recipient loss-RNG draw order)
+// is bit-identical to the linear reference scan.
 func (n *Network) deliverBroadcast(q queued) int {
 	if n.positions == nil {
 		panic("simnet: broadcast without a position oracle")
 	}
-	cells := n.cfg.Geometry.CellsIntersecting(q.region)
-	inCell := make(map[grid.Cell]bool, len(cells))
-	for _, c := range cells {
-		inCell[c] = true
+	if n.linearFanout {
+		return n.deliverBroadcastLinear(q)
 	}
+	n.refreshCellIndex()
+	rec := n.recipients[:0]
+	n.cfg.Geometry.VisitCellsIntersecting(q.region, func(c grid.Cell) bool {
+		rec = append(rec, n.cellIDs[n.cfg.Geometry.CellIndex(c)]...)
+		return true
+	})
+	slices.Sort(rec)
+	n.recipients = rec
 	delivered := 0
-	for _, id := range n.sortedIDs() {
-		pos, posOK := n.positions(id)
-		if !posOK || !inCell[n.cfg.Geometry.CellOf(pos)] {
-			continue
-		}
+	for _, id := range rec {
 		// Re-check membership per recipient: a handler earlier in this
-		// fan-out may have detached this client (sortedIDs is a snapshot —
-		// DetachClient marks it dirty but the slice we range over is
-		// already bound), in which case the transmission is a drop, not a
-		// nil-interface call.
+		// fan-out may have detached this client (the recipient list is a
+		// snapshot — DetachClient unlinks the index entry but the slice we
+		// range over is already gathered), in which case the transmission
+		// is a drop, not a nil-interface call.
 		h, ok := n.clients[id]
 		if !ok {
 			n.counters.RecordDrop(metrics.Broadcast)
@@ -428,6 +570,95 @@ func (n *Network) deliverBroadcast(q queued) int {
 		delivered++
 	}
 	return delivered
+}
+
+// deliverBroadcastLinear is the original Θ(clients) fan-out: walk every
+// attached client in id order and test its cell against the region. It is
+// retained as the behavioral reference the indexed path must match
+// bit-for-bit (recipients, counters, and RNG stream); tests and the
+// fan-out benchmark select it via linearFanout.
+func (n *Network) deliverBroadcastLinear(q queued) int {
+	cells := n.cfg.Geometry.CellsIntersecting(q.region)
+	inCell := make(map[grid.Cell]bool, len(cells))
+	for _, c := range cells {
+		inCell[c] = true
+	}
+	delivered := 0
+	for _, id := range n.sortedIDs() {
+		pos, posOK := n.positions(id)
+		if !posOK || !inCell[n.cfg.Geometry.CellOf(pos)] {
+			continue
+		}
+		h, ok := n.clients[id]
+		if !ok {
+			n.counters.RecordDrop(metrics.Broadcast)
+			continue
+		}
+		if n.down[id] || n.lose(n.cfg.BroadcastLoss) || n.geLose(metrics.Broadcast) {
+			n.counters.RecordDrop(metrics.Broadcast)
+			continue
+		}
+		n.counters.RecordDeliver(metrics.Broadcast)
+		h.HandleServerMessage(q.msg)
+		delivered++
+	}
+	return delivered
+}
+
+// refreshCellIndex re-resolves every attached client's cell through the
+// position oracle, once per Flush. Clients the oracle cannot place leave
+// the index. Placement is independent per client, so the map iteration
+// order does not matter: per-broadcast audiences are sorted by id before
+// fan-out.
+func (n *Network) refreshCellIndex() {
+	if n.indexFresh {
+		return
+	}
+	n.indexFresh = true
+	for id := range n.clients {
+		n.placeClient(id)
+	}
+}
+
+// placeClient moves id to the cell of its current oracle position, or out
+// of the index when the oracle cannot place it.
+func (n *Network) placeClient(id model.ObjectID) {
+	ref := n.cellPos[id]
+	var pos geo.Point
+	ok := false
+	if n.positions != nil {
+		pos, ok = n.positions(id)
+	}
+	if !ok {
+		if ref.located {
+			n.removeFromCell(id, ref)
+			n.cellPos[id] = cellRef{}
+		}
+		return
+	}
+	idx := n.cfg.Geometry.CellIndex(n.cfg.Geometry.CellOf(pos))
+	if ref.located && ref.idx == idx {
+		return
+	}
+	if ref.located {
+		n.removeFromCell(id, ref)
+	}
+	n.cellIDs[idx] = append(n.cellIDs[idx], id)
+	n.cellPos[id] = cellRef{idx: idx, slot: len(n.cellIDs[idx]) - 1, located: true}
+}
+
+// removeFromCell unlinks id from its current cell using swap-with-last.
+func (n *Network) removeFromCell(id model.ObjectID, ref cellRef) {
+	cell := n.cellIDs[ref.idx]
+	last := len(cell) - 1
+	if ref.slot != last {
+		moved := cell[last]
+		cell[ref.slot] = moved
+		mref := n.cellPos[moved]
+		mref.slot = ref.slot
+		n.cellPos[moved] = mref
+	}
+	n.cellIDs[ref.idx] = cell[:last]
 }
 
 func (n *Network) lose(p float64) bool {
