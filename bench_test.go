@@ -142,6 +142,13 @@ func BenchmarkFig19LargeScale(b *testing.B) {
 	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig19LargeScale() })
 }
 
+// BenchmarkFig20ClusterScaling regenerates Fig 20: the spatially
+// partitioned federation — per-node server time, inter-node link
+// traffic, and handoff counts as the node count grows.
+func BenchmarkFig20ClusterScaling(b *testing.B) {
+	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig20ClusterScaling() })
+}
+
 // BenchmarkTable2Breakdown regenerates Table 2: message breakdown by kind
 // and direction.
 func BenchmarkTable2Breakdown(b *testing.B) {

@@ -16,13 +16,14 @@
 // per core). Every (method × sweep-point × seed) cell is an independent
 // seeded simulation, so the tables are byte-identical for every worker
 // count; experiments that measure wall-clock quantities (fig10, fig13,
-// fig14, fig15, fig16) are declared Serial and always run their cells
-// one at a time so sibling runs cannot perturb their timings.
+// fig14, fig15, fig16, fig19, fig20) are declared Serial and always run
+// their cells one at a time so sibling runs cannot perturb their
+// timings.
 //
 // -json additionally writes a machine-readable report — per-experiment
 // wall-clock, the worker count used, and host parallelism — which is how
-// the checked-in BENCH_PR1.json and BENCH_PR3.json baselines were
-// produced.
+// the checked-in BENCH_PR1.json, BENCH_PR3.json, and BENCH_PR4.json
+// baselines were produced.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiments (see README.md §Profiling), which is how hot-path

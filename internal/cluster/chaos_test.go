@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"dmknn/internal/core"
+	"dmknn/internal/model"
+	"dmknn/internal/sim"
+	"dmknn/internal/simnet"
+	"dmknn/internal/workload"
+)
+
+// chaosProto enables the machinery a lossy federation needs to heal:
+// delta answers (so desync is possible at all) and a resync period that
+// bounds how long any divergence survives.
+func chaosProto() core.Config {
+	c := proto()
+	c.DeltaAnswers = true
+	c.ResyncTicks = 12
+	return c
+}
+
+// assertClientAnswersExact checks every query's client-visible answer
+// against brute-force ground truth, honoring ties at the k-th distance
+// (same check as the core package's chaos suite).
+func assertClientAnswersExact(t *testing.T, env *sim.Env, m *Method, tag string) {
+	t.Helper()
+	ds := make([]float64, len(env.Objects))
+	for _, q := range env.Queries {
+		got := m.Answer(q.Spec.ID)
+		k := q.Spec.K
+		if len(got.Neighbors) != k {
+			t.Fatalf("%s: query %d has %d members, want %d",
+				tag, q.Spec.ID, len(got.Neighbors), k)
+		}
+		for i := range env.Objects {
+			ds[i] = env.Objects[i].Pos.Dist(q.State.Pos)
+		}
+		sort.Float64s(ds)
+		dk := ds[k-1]
+		tol := 1e-6 + dk*1e-9
+		seen := make(map[model.ObjectID]bool, k)
+		for _, nb := range got.Neighbors {
+			if seen[nb.ID] {
+				t.Fatalf("%s: query %d reports object %d twice", tag, q.Spec.ID, nb.ID)
+			}
+			seen[nb.ID] = true
+			if d := env.ObjectByID(nb.ID).Pos.Dist(q.State.Pos); d > dk+tol {
+				t.Fatalf("%s: query %d reports object %d at %.3f > k-th distance %.3f",
+					tag, q.Spec.ID, nb.ID, d, dk)
+			}
+		}
+	}
+}
+
+// The federation chaos soak: inter-node link loss combined with radio
+// burst loss while objects and queries keep crossing node boundaries.
+// Once every fault clears, the answers must re-converge to exact — the
+// retried handoffs and periodic resyncs must heal whatever the loss
+// destroyed — and the link metering must conserve messages throughout.
+func TestClusterChaosReconvergence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := workload.Quick()
+			cfg.Seed = seed
+			cfg.NumObjects = 300
+			cfg.NumQueries = 4
+			cfg.LatencyTicks = 0 // exactness is only defined under same-tick delivery
+			cfg.DisableAudit = true
+
+			pc := chaosProto()
+			m := mustMethod(t, 2, pc, LinkConfig{Loss: 0.35, Seed: seed})
+			eng, err := sim.NewEngine(cfg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := eng.Env()
+			step := func(n int) {
+				for i := 0; i < n; i++ {
+					if err := eng.Step(); err != nil {
+						t.Fatalf("seed%d: %v", seed, err)
+					}
+				}
+			}
+
+			// The loss starts at tick 0, so establishment already fights
+			// it; soak long enough for boundary churn under faults.
+			burst := simnet.BurstLoss(0.30, 4)
+			env.Net.SetFaults(simnet.FaultConfig{
+				UplinkGE: burst, DownlinkGE: burst, BroadcastGE: burst,
+			})
+			step(50)
+
+			// Heal everything.
+			env.Net.SetFaults(simnet.FaultConfig{})
+			m.Link().SetLoss(0)
+			heal := 2*pc.ResyncTicks + 3
+			step(heal)
+
+			for i := 0; i < 5; i++ {
+				step(1)
+				assertClientAnswersExact(t, env, m, fmt.Sprintf("post-heal+%d", i))
+			}
+
+			// Conservation held across the whole lossy run.
+			s := m.Link().Stats()
+			if s.Sent != s.Delivered+s.Dropped+uint64(m.Link().PendingCount()) {
+				t.Fatalf("link conservation violated: %+v, pending %d",
+					s, m.Link().PendingCount())
+			}
+			if s.Dropped == 0 {
+				t.Fatal("link never dropped; chaos phase exercised nothing")
+			}
+			// The churn must have actually crossed boundaries for this
+			// soak to mean anything.
+			if st := m.Cluster().Stats(); st.ObjectHandoffs == 0 {
+				t.Fatal("no object handoffs during the chaos soak")
+			}
+		})
+	}
+}

@@ -1,0 +1,929 @@
+// Package cluster federates the DKNN server across spatial partitions:
+// the world is statically divided into per-node regions (vertical strips
+// of whole grid-cell columns), each node runs its own core.Server owning
+// the objects and focal queries currently inside its region, and nodes
+// coordinate over a metered inter-node Link.
+//
+// Three mechanisms keep the federation exact:
+//
+//   - Cross-boundary monitors: when a query's monitoring region
+//     intersects a neighbor node's strip, the home node forwards the
+//     broadcast (probe, install, cancel) over the link (NodeForward) and
+//     the neighbor rebroadcasts it restricted to its own cells. The
+//     neighbor remembers the query's home and relays the Enter/Exit/
+//     Leave/Move reports it receives back to it (NodeRelay); the home
+//     node remains the single answer authority.
+//   - Object handoff: a client whose report places it in another node's
+//     strip is transferred (ObjectHandoff: kinematics plus the per-query
+//     awareness map) and its uplink routing flips to the new owner, so
+//     no report is lost and no uplink is ever double-counted.
+//   - Query handoff: when a focal client's advertised track leaves its
+//     home strip, the whole monitor state machine (epoch, candidate and
+//     inside sets, answer sequence) migrates over the link
+//     (QueryHandoff, retried until acked) and the new home re-baselines
+//     the client through the resync path — the answer sequence
+//     continues, so the client never observes the migration.
+//
+// With one node the federation is wire-identical to the single server:
+// the restricted broadcast covers every cell and no link traffic exists.
+// Because each grid cell is owned by exactly one node, the aggregate
+// radio metering of a multi-node broadcast (local clip plus forwarded
+// rebroadcasts) also equals the single server's, which keeps the
+// client-observable protocol unchanged at any node count.
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// maxRelayHops bounds uplink forwarding chains between nodes. Two hops
+// cover every legitimate route (receiving node → object's position node
+// → query's home node); the slack absorbs a handoff racing a relay.
+const maxRelayHops = 4
+
+// Partition is the static spatial decomposition: contiguous strips of
+// whole grid-cell columns, one strip per node, covering the world. Cell
+// granularity makes restricted broadcasts exact — every cell is owned by
+// exactly one node, so clipped rebroadcasts neither overlap nor leave
+// gaps.
+type Partition struct {
+	geom     grid.Geometry
+	regions  []geo.Rect
+	colOwner []int
+}
+
+// NewPartition divides the geometry's columns over nodes as evenly as
+// possible (leading strips take the remainder).
+func NewPartition(geom grid.Geometry, nodes int) (Partition, error) {
+	cols, _ := geom.Dims()
+	if nodes < 1 {
+		return Partition{}, fmt.Errorf("cluster: need at least one node, got %d", nodes)
+	}
+	if nodes > cols {
+		return Partition{}, fmt.Errorf("cluster: %d nodes exceed the grid's %d columns", nodes, cols)
+	}
+	p := Partition{
+		geom:     geom,
+		regions:  make([]geo.Rect, nodes),
+		colOwner: make([]int, cols),
+	}
+	b := geom.Bounds()
+	cellW := b.Width() / float64(cols)
+	base, rem := cols/nodes, cols%nodes
+	col := 0
+	for i := 0; i < nodes; i++ {
+		w := base
+		if i < rem {
+			w++
+		}
+		for j := 0; j < w; j++ {
+			p.colOwner[col+j] = i
+		}
+		x0 := b.Min.X + float64(col)*cellW
+		x1 := b.Min.X + float64(col+w)*cellW
+		if i == nodes-1 {
+			x1 = b.Max.X // absorb float rounding at the world edge
+		}
+		p.regions[i] = geo.NewRect(geo.Pt(x0, b.Min.Y), geo.Pt(x1, b.Max.Y))
+		col += w
+	}
+	return p, nil
+}
+
+// Nodes returns the node count.
+func (p Partition) Nodes() int { return len(p.regions) }
+
+// Region returns node i's strip.
+func (p Partition) Region(i int) geo.Rect { return p.regions[i] }
+
+// CellOwner returns the node owning a grid cell; restricted radio
+// surfaces filter on it.
+func (p Partition) CellOwner(c grid.Cell) int { return p.colOwner[c.Col] }
+
+// NodeOf returns the node owning the point. It goes through CellOf —
+// which clamps out-of-world points to border cells — so ownership always
+// agrees with the cell-level broadcast clipping.
+func (p Partition) NodeOf(pt geo.Point) int {
+	return p.colOwner[p.geom.CellOf(pt).Col]
+}
+
+// VisitIntersecting calls fn once for each node owning at least one grid
+// cell intersecting the region, in ascending node order. The node set
+// exactly tiles the broadcast's cell coverage, so forwarding to these
+// nodes (and letting each clip to its own cells) reproduces an
+// unrestricted broadcast.
+func (p Partition) VisitIntersecting(region geo.Circle, fn func(node int)) {
+	if region.R < 0 {
+		return
+	}
+	seen := make([]bool, len(p.regions))
+	p.geom.VisitCellsIntersecting(region, func(c grid.Cell) bool {
+		seen[p.colOwner[c.Col]] = true
+		return true
+	})
+	for i, s := range seen {
+		if s {
+			fn(i)
+		}
+	}
+}
+
+// Stats counts federation-level events.
+type Stats struct {
+	// ObjectHandoffs and QueryHandoffs count boundary migrations
+	// (retries of an unacked query handoff are not re-counted).
+	ObjectHandoffs uint64
+	QueryHandoffs  uint64
+	// RelayDrops counts uplinks no node could route: the addressed query
+	// was unknown everywhere reachable, or a forwarding chain exceeded
+	// its hop budget.
+	RelayDrops uint64
+}
+
+// Deps wires a Cluster to its environment.
+type Deps struct {
+	// Link carries inter-node messages.
+	Link Link
+	// Radio builds node i's restricted radio surface (e.g. a
+	// simnet.RestrictedServerSide over the node's cell filter).
+	Radio func(node int) transport.ServerSide
+	// Now is the shared clock.
+	Now func() model.Tick
+	// The remaining fields mirror core.ServerDeps and are passed through
+	// to every node's server. LatencyTicks must include the link latency
+	// on top of the radio latency: a cross-boundary probe pays both, and
+	// the servers schedule reply deadlines from this bound.
+	DT             float64
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	LatencyTicks   int
+}
+
+// Cluster is the federation: the partition, the per-node servers, and
+// the routing state that stitches them together. It implements
+// transport.ServerHandler (and DisconnectHandler) as the single uplink
+// surface of the whole federation — the simulated radio does not know
+// which node a cell belongs to; the cluster routes by each client's home
+// node, which follows the client across boundaries via object handoff.
+type Cluster struct {
+	part  Partition
+	cfg   core.Config
+	deps  Deps
+	nodes []*node
+
+	// home maps each client (object or focal query address) to the node
+	// currently serving it. Updated at handoff initiation so routing
+	// flips atomically with the decision, never trailing a lossy link.
+	home map[model.ObjectID]int
+
+	// sendMu serializes the send surfaces (radio and link) under the
+	// parallel per-node server ticks, like shard.lockedSide. The serial
+	// phases take it too — uncontended — so every send path is uniform.
+	sendMu sync.Mutex
+
+	stats Stats
+}
+
+// node is one federation member: a core.Server plus the cross-boundary
+// bookkeeping. All node maps are touched only by the owning node's
+// server callbacks (under sendMu) or by the cluster's serial phases.
+type node struct {
+	c      *Cluster
+	id     int
+	server *core.Server
+	radio  transport.ServerSide // restricted to this node's cells
+
+	// local marks queries homed here (this node runs their monitors).
+	local map[model.QueryID]bool
+	// remote maps queries whose broadcasts this node rebroadcast to the
+	// home node to relay reports to. Entries persist until an explicit
+	// cancel: a Leave report can arrive long after the region stopped
+	// intersecting this strip, and it must still find its way home.
+	remote map[model.QueryID]int
+	// spread tracks, per local query, every node a broadcast was ever
+	// forwarded to, so teardown (cancel, disconnect, migration) reaches
+	// all of them even when the current region no longer intersects.
+	spread map[model.QueryID]map[int]bool
+	// aware tracks, per client homed here, the remote queries its
+	// reports were relayed for (query → home node): the state an object
+	// handoff transfers, and the purge list when the client disconnects.
+	aware map[model.ObjectID]map[model.QueryID]int
+	// awareByQ is the reverse index of aware, for cancel-time purging.
+	awareByQ map[model.QueryID]map[model.ObjectID]bool
+	// pending holds exported-but-unacked query handoffs for retry; a
+	// lossy link must not be able to destroy a monitor state machine.
+	pending map[model.QueryID]*pendingHandoff
+}
+
+type pendingHandoff struct {
+	to     int
+	msg    protocol.QueryHandoff
+	sentAt model.Tick
+}
+
+// New builds a federation over the partition. Deps.Link and Deps.Radio
+// must be set; the caller attaches the returned cluster as the radio's
+// server handler and installs Cluster.HandleLink as the link's delivery
+// handler.
+func New(part Partition, cfg core.Config, deps Deps) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		part: part,
+		cfg:  cfg,
+		deps: deps,
+		home: make(map[model.ObjectID]int),
+	}
+	c.nodes = make([]*node, part.Nodes())
+	for i := range c.nodes {
+		n := &node{
+			c:        c,
+			id:       i,
+			radio:    deps.Radio(i),
+			local:    make(map[model.QueryID]bool),
+			remote:   make(map[model.QueryID]int),
+			spread:   make(map[model.QueryID]map[int]bool),
+			aware:    make(map[model.ObjectID]map[model.QueryID]int),
+			awareByQ: make(map[model.QueryID]map[model.ObjectID]bool),
+			pending:  make(map[model.QueryID]*pendingHandoff),
+		}
+		srv, err := core.NewServer(cfg, core.ServerDeps{
+			Side:           nodeSide{n},
+			Now:            deps.Now,
+			DT:             deps.DT,
+			MaxObjectSpeed: deps.MaxObjectSpeed,
+			MaxQuerySpeed:  deps.MaxQuerySpeed,
+			LatencyTicks:   deps.LatencyTicks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.server = srv
+		c.nodes[i] = n
+	}
+	return c, nil
+}
+
+// Partition returns the spatial decomposition.
+func (c *Cluster) Partition() Partition { return c.part }
+
+// Node returns node i's server (for inspection).
+func (c *Cluster) Node(i int) *core.Server { return c.nodes[i].server }
+
+// Stats returns the federation event counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// SeedHome records a client's initial home node from its position,
+// before any uplink exists to infer it from.
+func (c *Cluster) SeedHome(id model.ObjectID, pos geo.Point) {
+	c.home[id] = c.part.NodeOf(pos)
+}
+
+// HomeOf returns the node currently serving the client.
+func (c *Cluster) HomeOf(id model.ObjectID) int { return c.homeOf(id) }
+
+func (c *Cluster) homeOf(id model.ObjectID) int {
+	if h, ok := c.home[id]; ok {
+		return h
+	}
+	return 0
+}
+
+func (c *Cluster) now() model.Tick { return c.deps.Now() }
+
+// sendLink sends one inter-node message from a serial phase (uplink
+// handling, link delivery, migration scan). Node server callbacks that
+// already hold sendMu use c.deps.Link.Send directly instead.
+func (c *Cluster) sendLink(from, to int, m protocol.Message) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.deps.Link.Send(from, to, m)
+}
+
+// ---------------------------------------------------------------------------
+// Radio uplink routing
+
+// HandleUplink implements transport.ServerHandler: radio uplinks enter
+// the federation at the sender's home node.
+func (c *Cluster) HandleUplink(from model.ObjectID, msg protocol.Message) {
+	c.nodes[c.homeOf(from)].handleUplink(from, msg, 0)
+}
+
+// handleUplink processes one client uplink at this node, forwarded hops
+// times so far.
+func (n *node) handleUplink(from model.ObjectID, msg protocol.Message, hops int) {
+	c := n.c
+	// Boundary detection: the client's own report proves it left this
+	// node's strip — migrate its connection before processing, so the
+	// very report that crossed the boundary is still handled here (no
+	// report lost) while everything after routes to the new owner.
+	if pos, vel, at, ok := uplinkKinematics(msg); ok && c.homeOf(from) == n.id {
+		if owner := c.part.NodeOf(pos); owner != n.id {
+			n.handoffObject(from, owner, pos, vel, at)
+		}
+	}
+	if reg, ok := msg.(protocol.QueryRegister); ok {
+		// Registrations anchor at the node owning the focal position.
+		owner := c.part.NodeOf(reg.Pos)
+		if owner != n.id && hops < maxRelayHops {
+			c.relay(n.id, owner, from, msg, hops)
+			return
+		}
+		n.server.HandleUplink(from, msg)
+		if n.server.HasQuery(reg.Query) {
+			n.local[reg.Query] = true
+		}
+		return
+	}
+	q, ok := uplinkQuery(msg)
+	if !ok {
+		// Query-less kinds (LocationReport) are not part of this
+		// protocol; the local server drops them like the single server.
+		n.server.HandleUplink(from, msg)
+		return
+	}
+	switch home, known := n.remote[q]; {
+	case n.local[q]:
+		n.server.HandleUplink(from, msg)
+		if _, gone := msg.(protocol.QueryDeregister); gone {
+			n.finishTeardown(q)
+		}
+	case known:
+		if hops >= maxRelayHops {
+			c.stats.RelayDrops++
+			return
+		}
+		c.relay(n.id, home, from, msg, hops)
+		if c.homeOf(from) == n.id {
+			n.noteAware(from, q, home, msg)
+		}
+	default:
+		// Unknown query: if the report itself names a position in
+		// another strip, that node (or its remote table) knows more.
+		if pos, _, _, ok := uplinkKinematics(msg); ok && hops < maxRelayHops {
+			if owner := c.part.NodeOf(pos); owner != n.id {
+				c.relay(n.id, owner, from, msg, hops)
+				return
+			}
+		}
+		c.stats.RelayDrops++
+	}
+}
+
+// relay forwards a client uplink to another node.
+func (c *Cluster) relay(from, to int, origin model.ObjectID, msg protocol.Message, hops int) {
+	c.sendLink(from, to, protocol.NodeRelay{
+		Origin: origin,
+		Hops:   uint8(hops + 1),
+		Inner:  msg,
+	})
+}
+
+// noteAware updates the awareness map from a relayed membership report:
+// Enter/Exit/Move prove the object carries monitor state for q, Leave
+// proves it dropped it.
+func (n *node) noteAware(id model.ObjectID, q model.QueryID, home int, msg protocol.Message) {
+	switch msg.(type) {
+	case protocol.EnterReport, protocol.ExitReport, protocol.MoveReport:
+		n.setAware(id, q, home)
+	case protocol.LeaveReport:
+		n.clearAware(id, q)
+	}
+}
+
+func (n *node) setAware(id model.ObjectID, q model.QueryID, home int) {
+	m := n.aware[id]
+	if m == nil {
+		m = make(map[model.QueryID]int)
+		n.aware[id] = m
+	}
+	m[q] = home
+	r := n.awareByQ[q]
+	if r == nil {
+		r = make(map[model.ObjectID]bool)
+		n.awareByQ[q] = r
+	}
+	r[id] = true
+}
+
+func (n *node) clearAware(id model.ObjectID, q model.QueryID) {
+	if m := n.aware[id]; m != nil {
+		delete(m, q)
+		if len(m) == 0 {
+			delete(n.aware, id)
+		}
+	}
+	if r := n.awareByQ[q]; r != nil {
+		delete(r, id)
+		if len(r) == 0 {
+			delete(n.awareByQ, q)
+		}
+	}
+}
+
+// purgeQuery drops every trace of a remote query at this node.
+func (n *node) purgeQuery(q model.QueryID) {
+	delete(n.remote, q)
+	for id := range n.awareByQ[q] {
+		if m := n.aware[id]; m != nil {
+			delete(m, q)
+			if len(m) == 0 {
+				delete(n.aware, id)
+			}
+		}
+	}
+	delete(n.awareByQ, q)
+}
+
+// finishTeardown completes a local query's removal after the server
+// handled its deregister. An installed monitor already broadcast a
+// MonitorCancel through nodeSide, which reached every spread node; a
+// query deregistered mid-bootstrap (probing, never installed) broadcast
+// nothing, so its probe-forward recipients are purged explicitly with a
+// state-only cancel (negative region radius: nothing to rebroadcast).
+func (n *node) finishTeardown(q model.QueryID) {
+	if n.server.HasQuery(q) {
+		return
+	}
+	for _, peer := range sortedNodes(n.spread[q]) {
+		n.c.sendLink(n.id, peer, protocol.NodeForward{
+			Home:   uint16(n.id),
+			Region: geo.Circle{R: -1},
+			Inner:  protocol.MonitorCancel{Query: q},
+		})
+	}
+	delete(n.spread, q)
+	delete(n.local, q)
+	delete(n.pending, q)
+	// Awareness entries for q may survive from an era when this node
+	// relayed for it as a remote (before the monitor migrated here).
+	n.purgeQuery(q)
+}
+
+// ---------------------------------------------------------------------------
+// Object handoff
+
+// handoffObject migrates a client's connection to the node owning pos:
+// the home map flips immediately (so routing is consistent even if the
+// state transfer is lost) and the accumulated awareness state travels in
+// an ObjectHandoff message.
+func (n *node) handoffObject(id model.ObjectID, to int, pos geo.Point, vel geo.Vector, at model.Tick) {
+	c := n.c
+	c.home[id] = to
+	c.stats.ObjectHandoffs++
+	oh := protocol.ObjectHandoff{Object: id, Pos: pos, Vel: vel, At: at}
+	// Awareness accumulated from relays, plus the local queries whose
+	// monitors currently involve the object — their home is this node.
+	for q, home := range n.aware[id] {
+		oh.Aware = append(oh.Aware, protocol.AwareEntry{Query: q, Home: uint16(home)})
+	}
+	for _, q := range n.server.QueriesInvolving(id) {
+		if _, dup := n.aware[id][q]; !dup {
+			oh.Aware = append(oh.Aware, protocol.AwareEntry{Query: q, Home: uint16(n.id)})
+		}
+	}
+	slices.SortFunc(oh.Aware, func(a, b protocol.AwareEntry) int {
+		return int(a.Query) - int(b.Query)
+	})
+	// The old copy is gone: the new owner curates it from here.
+	if m := n.aware[id]; m != nil {
+		for q := range m {
+			n.clearAware(id, q)
+		}
+	}
+	c.sendLink(n.id, to, oh)
+}
+
+func (n *node) handleObjectHandoff(v protocol.ObjectHandoff) {
+	c := n.c
+	// The client may have moved on while this transfer was in flight
+	// (chained handoff): pass the state along to its current home. The
+	// home map is globally consistent, so this terminates in one step.
+	if cur := c.homeOf(v.Object); cur != n.id {
+		c.sendLink(n.id, cur, v)
+		return
+	}
+	for _, a := range v.Aware {
+		home := int(a.Home)
+		if home == n.id {
+			// The query was homed at the sender... or this node. Either
+			// way a relay for it resolves through local/remote lookup;
+			// record only true remotes.
+			if !n.local[a.Query] {
+				n.setAware(v.Object, a.Query, home)
+			}
+			continue
+		}
+		n.setAware(v.Object, a.Query, home)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query handoff (migration scan)
+
+// migrateQueries runs in the serial phase of every tick: any local query
+// whose dead-reckoned focal track left this node's strip is exported and
+// shipped to the new owner; unacked exports are retried.
+func (c *Cluster) migrateQueries(now model.Tick) {
+	retryGap := model.Tick(1)
+	if l, ok := c.deps.Link.(*MemLink); ok {
+		retryGap = model.Tick(2*l.cfg.LatencyTicks + 1)
+	}
+	for _, n := range c.nodes {
+		for _, q := range sortedQueries(n.local) {
+			est, ok := n.server.QueryEstimate(q, now)
+			if !ok {
+				delete(n.local, q)
+				continue
+			}
+			dest := c.part.NodeOf(est)
+			if dest == n.id {
+				continue
+			}
+			st, ok := n.server.ExportMonitor(q)
+			if !ok {
+				continue // probe in flight; retry next tick
+			}
+			qh := st.ExportState()
+			for _, peer := range sortedNodes(n.spread[q]) {
+				if peer != dest {
+					qh.Spread = append(qh.Spread, uint16(peer))
+				}
+			}
+			delete(n.local, q)
+			delete(n.spread, q)
+			// Late reports for q still arrive here (aware objects in
+			// this strip keep reporting to their own home node — this
+			// one); relay them onward like any other remote query.
+			n.remote[q] = dest
+			c.home[st.Addr] = dest
+			n.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
+			c.sendLink(n.id, dest, qh)
+			c.stats.QueryHandoffs++
+		}
+		for _, q := range sortedPending(n.pending) {
+			p := n.pending[q]
+			if now-p.sentAt >= retryGap {
+				p.sentAt = now
+				c.sendLink(n.id, p.to, p.msg)
+			}
+		}
+	}
+}
+
+func (n *node) handleQueryHandoff(from int, v protocol.QueryHandoff) {
+	c := n.c
+	q := v.Query
+	if n.local[q] {
+		// Duplicate delivery (retry raced the ack): just ack again.
+		c.sendLink(n.id, from, protocol.QueryHandoffAck{Query: q})
+		return
+	}
+	n.server.ImportMonitor(core.ImportState(v), c.now())
+	if n.server.HasQuery(q) {
+		// Drop the remote-era routing and awareness for q: its reports
+		// are handled locally now, and QueriesInvolving supersedes the
+		// relay bookkeeping.
+		n.purgeQuery(q)
+		n.local[q] = true
+		sp := n.spread[q]
+		if sp == nil {
+			sp = make(map[int]bool)
+			n.spread[q] = sp
+		}
+		for _, peer := range v.Spread {
+			if int(peer) != n.id {
+				sp[int(peer)] = true
+			}
+		}
+		// The old home keeps relaying late reports; it must also hear
+		// the eventual teardown.
+		sp[from] = true
+	}
+	// Ack even a rejected (insane) snapshot so the sender stops
+	// retrying a message that will never apply.
+	c.sendLink(n.id, from, protocol.QueryHandoffAck{Query: q})
+}
+
+// ---------------------------------------------------------------------------
+// Link delivery
+
+// HandleLink consumes inter-node messages; install it as the Link's
+// delivery handler.
+func (c *Cluster) HandleLink(from, to int, m protocol.Message) {
+	n := c.nodes[to]
+	switch v := m.(type) {
+	case protocol.NodeForward:
+		n.handleForward(from, v)
+	case protocol.NodeRelay:
+		n.handleUplink(v.Origin, v.Inner, int(v.Hops))
+	case protocol.NodeDeliver:
+		c.sendMu.Lock()
+		n.radio.Downlink(v.To, v.Inner)
+		c.sendMu.Unlock()
+	case protocol.ObjectHandoff:
+		n.handleObjectHandoff(v)
+	case protocol.QueryHandoff:
+		n.handleQueryHandoff(from, v)
+	case protocol.QueryHandoffAck:
+		delete(n.pending, v.Query)
+	case protocol.NodeClientGone:
+		n.server.HandleClientGone(v.Object)
+		for q := range cloneQuerySet(n.aware[v.Object]) {
+			n.clearAware(v.Object, q)
+		}
+	}
+}
+
+// handleForward applies a neighbor's broadcast: learn (or forget) the
+// query's home for report relaying, then rebroadcast clipped to this
+// node's cells. A negative region radius marks a state-only teardown
+// with nothing to rebroadcast.
+func (n *node) handleForward(from int, v protocol.NodeForward) {
+	switch inner := v.Inner.(type) {
+	case protocol.ProbeRequest:
+		if !n.local[inner.Query] {
+			n.remote[inner.Query] = from
+		}
+	case protocol.MonitorInstall:
+		if !n.local[inner.Query] {
+			n.remote[inner.Query] = from
+		}
+	case protocol.MonitorCancel:
+		n.purgeQuery(inner.Query)
+	default:
+		return // decode layer prevents this; defense in depth
+	}
+	if v.Region.R >= 0 {
+		c := n.c
+		c.sendMu.Lock()
+		n.radio.Broadcast(v.Region, v.Inner)
+		c.sendMu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Disconnect purging
+
+// HandleClientGone implements transport.DisconnectHandler: the home node
+// purges its own monitors, and every node that ever homed one of the
+// client's remote queries is told to purge too — the distributed
+// equivalent of the single server's disconnect-purge guarantee.
+func (c *Cluster) HandleClientGone(id model.ObjectID) {
+	n := c.nodes[c.homeOf(id)]
+	homes := make(map[int]bool)
+	for _, home := range n.aware[id] {
+		homes[home] = true
+	}
+	n.server.HandleClientGone(id)
+	// If id was a focal client, its queries just deregistered without a
+	// radio uplink; complete their federation teardown.
+	for _, q := range sortedQueries(n.local) {
+		if !n.server.HasQuery(q) {
+			n.finishTeardown(q)
+		}
+	}
+	for q := range cloneQuerySet(n.aware[id]) {
+		n.clearAware(id, q)
+	}
+	for _, home := range sortedNodes(homes) {
+		if home == n.id {
+			continue
+		}
+		c.sendLink(n.id, home, protocol.NodeClientGone{Object: id})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tick driving
+
+// Tick advances the federation one step: deliver due link messages
+// (their handlers may touch any node — still the serial phase), migrate
+// boundary-crossing queries, run every node's server tick in parallel,
+// then deliver the link traffic those ticks produced.
+func (c *Cluster) Tick(now model.Tick) {
+	c.deps.Link.Flush()
+	c.migrateQueries(now)
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			n.server.Tick(now)
+		}(n)
+	}
+	wg.Wait()
+	c.deps.Link.Flush()
+}
+
+// Finalize settles intra-tick conversations: link deliveries may feed
+// node servers, whose Finalize may conclude probes and send again. It
+// reports whether anything moved, so the driving engine knows to flush
+// the radio and call again.
+func (c *Cluster) Finalize(now model.Tick) bool {
+	act := c.deps.Link.Flush() > 0
+	results := make([]bool, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			results[i] = n.server.Finalize(now)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, r := range results {
+		act = act || r
+	}
+	if c.deps.Link.Flush() > 0 {
+		act = true
+	}
+	return act
+}
+
+// ---------------------------------------------------------------------------
+// The per-node radio surface
+
+// nodeSide is the transport.ServerSide each node's core.Server sends
+// through: downlinks route to the client's current home node, broadcasts
+// clip to the node's own cells and forward across the link to every
+// other node whose strip the region touches. It locks the cluster's send
+// mutex for the whole operation because server ticks run in parallel.
+type nodeSide struct{ n *node }
+
+func (s nodeSide) Downlink(to model.ObjectID, m protocol.Message) {
+	n, c := s.n, s.n.c
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if home := c.homeOf(to); home != n.id {
+		c.deps.Link.Send(n.id, home, protocol.NodeDeliver{To: to, Inner: m})
+		return
+	}
+	n.radio.Downlink(to, m)
+}
+
+func (s nodeSide) Broadcast(region geo.Circle, m protocol.Message) {
+	n, c := s.n, s.n.c
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	n.radio.Broadcast(region, m)
+	q, cancel, ok := broadcastQuery(m)
+	if !ok {
+		return
+	}
+	var targets []int
+	c.part.VisitIntersecting(region, func(peer int) {
+		if peer != n.id {
+			targets = append(targets, peer)
+		}
+	})
+	if cancel {
+		// A cancel must reach every node that ever saw the query, not
+		// just the ones the final region touches.
+		for _, peer := range sortedNodes(n.spread[q]) {
+			if peer != n.id && !slices.Contains(targets, peer) {
+				targets = append(targets, peer)
+			}
+		}
+		slices.Sort(targets)
+		delete(n.spread, q)
+	}
+	for _, peer := range targets {
+		c.deps.Link.Send(n.id, peer, protocol.NodeForward{
+			Home:   uint16(n.id),
+			Region: region,
+			Inner:  m,
+		})
+		if !cancel {
+			sp := n.spread[q]
+			if sp == nil {
+				sp = make(map[int]bool)
+				n.spread[q] = sp
+			}
+			sp[peer] = true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Message introspection helpers
+
+// uplinkKinematics extracts the position (and, where carried, velocity)
+// a client uplink reports, for boundary detection.
+func uplinkKinematics(m protocol.Message) (geo.Point, geo.Vector, model.Tick, bool) {
+	switch v := m.(type) {
+	case protocol.LocationReport:
+		return v.Pos, v.Vel, v.At, true
+	case protocol.ProbeReply:
+		return v.Pos, geo.Vector{}, v.At, true
+	case protocol.EnterReport:
+		return v.Pos, geo.Vector{}, v.At, true
+	case protocol.ExitReport:
+		return v.Pos, geo.Vector{}, v.At, true
+	case protocol.LeaveReport:
+		return v.Pos, geo.Vector{}, v.At, true
+	case protocol.MoveReport:
+		return v.Pos, geo.Vector{}, v.At, true
+	case protocol.QueryRegister:
+		return v.Pos, v.Vel, v.At, true
+	case protocol.QueryMove:
+		return v.Pos, v.Vel, v.At, true
+	}
+	return geo.Point{}, geo.Vector{}, 0, false
+}
+
+// uplinkQuery extracts the query id an uplink addresses.
+func uplinkQuery(m protocol.Message) (model.QueryID, bool) {
+	switch v := m.(type) {
+	case protocol.ProbeReply:
+		return v.Query, true
+	case protocol.EnterReport:
+		return v.Query, true
+	case protocol.ExitReport:
+		return v.Query, true
+	case protocol.LeaveReport:
+		return v.Query, true
+	case protocol.MoveReport:
+		return v.Query, true
+	case protocol.QueryRegister:
+		return v.Query, true
+	case protocol.QueryMove:
+		return v.Query, true
+	case protocol.QueryDeregister:
+		return v.Query, true
+	case protocol.AnswerResync:
+		return v.Query, true
+	}
+	return 0, false
+}
+
+// broadcastQuery extracts the query id a broadcast concerns and whether
+// it is a teardown.
+func broadcastQuery(m protocol.Message) (q model.QueryID, cancel, ok bool) {
+	switch v := m.(type) {
+	case protocol.ProbeRequest:
+		return v.Query, false, true
+	case protocol.MonitorInstall:
+		return v.Query, false, true
+	case protocol.MonitorCancel:
+		return v.Query, true, true
+	}
+	return 0, false, false
+}
+
+func sortedQueries(set map[model.QueryID]bool) []model.QueryID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]model.QueryID, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedPending(m map[model.QueryID]*pendingHandoff) []model.QueryID {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]model.QueryID, 0, len(m))
+	for q := range m {
+		out = append(out, q)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedNodes(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func cloneQuerySet(m map[model.QueryID]int) map[model.QueryID]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[model.QueryID]bool, len(m))
+	for q := range m {
+		out[q] = true
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/sim"
+	"dmknn/internal/workload"
+)
+
+// proto scales the protocol parameters to the Quick world, like the core
+// package's tests do.
+func proto() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.HorizonTicks = 8
+	cfg.MinProbeRadius = 100
+	return cfg
+}
+
+func mustMethod(t *testing.T, nodes int, cfg core.Config, link LinkConfig) *Method {
+	t.Helper()
+	m, err := NewMethod(nodes, cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPartitionMath(t *testing.T) {
+	geom := grid.NewGeometry(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 16, 16)
+	for _, nodes := range []int{1, 2, 3, 4, 5, 8, 16} {
+		p, err := NewPartition(geom, nodes)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		// The strips tile the world left to right.
+		if p.Region(0).Min.X != 0 || p.Region(nodes-1).Max.X != 1000 {
+			t.Fatalf("nodes=%d: strips do not span the world", nodes)
+		}
+		for i := 1; i < nodes; i++ {
+			if p.Region(i).Min.X != p.Region(i-1).Max.X {
+				t.Fatalf("nodes=%d: gap between strip %d and %d", nodes, i-1, i)
+			}
+		}
+		// Point ownership agrees with cell ownership everywhere.
+		for x := 5.0; x < 1000; x += 62.5 {
+			pt := geo.Pt(x, 500)
+			if got, want := p.NodeOf(pt), p.CellOwner(geom.CellOf(pt)); got != want {
+				t.Fatalf("nodes=%d: NodeOf(%v)=%d, CellOwner=%d", nodes, pt, got, want)
+			}
+		}
+		// VisitIntersecting covers exactly the owners of intersecting cells.
+		region := geo.Circle{Center: geo.Pt(500, 500), R: 180}
+		want := map[int]bool{}
+		geom.VisitCellsIntersecting(region, func(c grid.Cell) bool {
+			want[p.CellOwner(c)] = true
+			return true
+		})
+		var got []int
+		p.VisitIntersecting(region, func(n int) { got = append(got, n) })
+		if len(got) != len(want) {
+			t.Fatalf("nodes=%d: VisitIntersecting returned %v, want owners %v", nodes, got, want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("nodes=%d: VisitIntersecting out of order: %v", nodes, got)
+			}
+		}
+		for _, n := range got {
+			if !want[n] {
+				t.Fatalf("nodes=%d: VisitIntersecting visited non-owner %d", nodes, n)
+			}
+		}
+		// A state-only teardown region visits nothing.
+		p.VisitIntersecting(geo.Circle{R: -1}, func(int) { t.Fatal("visited for R<0") })
+	}
+	if _, err := NewPartition(geom, 0); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := NewPartition(geom, 17); err == nil {
+		t.Error("more nodes than columns accepted")
+	}
+}
+
+// The exactness invariant must hold at every node count under the ideal
+// network (zero latency, no loss, θ = 0): partitioning the server is
+// invisible to the clients.
+func TestClusterExactnessInvariant(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			cfg := workload.Quick()
+			cfg.Ticks = 60
+			m := mustMethod(t, nodes, proto(), LinkConfig{})
+			res, err := sim.Run(cfg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Audit.Evaluations() == 0 {
+				t.Fatal("no audited answers")
+			}
+			if ex := res.Audit.Exactness(); ex != 1.0 {
+				t.Fatalf("exactness = %v (recall mean %v, worst %v) — federation broke the invariant",
+					ex, res.Audit.MeanRecall(), res.Audit.WorstRecall())
+			}
+			if nodes > 1 {
+				if res.Extra["link_sent"] == 0 {
+					t.Error("multi-node run produced no inter-node traffic")
+				}
+				s := m.Link().Stats()
+				if s.Sent != s.Delivered+s.Dropped {
+					t.Errorf("link conservation violated: %+v", s)
+				}
+			} else if res.Extra["link_sent"] != 0 {
+				t.Errorf("single-node run used the link: %v messages", res.Extra["link_sent"])
+			}
+		})
+	}
+}
+
+// With one node the federation is wire-identical to the plain DKNN
+// method: same per-direction traffic, no link usage, no handoffs.
+func TestSingleNodeWireIdentity(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Ticks = 60
+
+	single, err := core.New(proto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Run(cfg, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMethod(t, 1, proto(), LinkConfig{})
+	r2, err := sim.Run(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range metrics.Directions() {
+		if r1.Traffic.Sent(d) != r2.Traffic.Sent(d) {
+			t.Errorf("%v sent differs: single %d, cluster(1) %d",
+				d, r1.Traffic.Sent(d), r2.Traffic.Sent(d))
+		}
+		if r1.Traffic.SentBytes(d) != r2.Traffic.SentBytes(d) {
+			t.Errorf("%v bytes differ: single %d, cluster(1) %d",
+				d, r1.Traffic.SentBytes(d), r2.Traffic.SentBytes(d))
+		}
+	}
+	if s := m.Link().Stats(); s.Sent != 0 {
+		t.Errorf("single-node cluster sent %d link messages", s.Sent)
+	}
+	if st := m.Cluster().Stats(); st.ObjectHandoffs != 0 || st.QueryHandoffs != 0 {
+		t.Errorf("single-node cluster recorded handoffs: %+v", st)
+	}
+}
+
+// Boundary crossings actually exercise both handoff mechanisms on the
+// Quick workload, and a migrated query is homed at exactly one node.
+func TestClusterHandoffsOccur(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Ticks = 120
+	m := mustMethod(t, 2, proto(), LinkConfig{})
+	res, err := sim.Run(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Cluster().Stats()
+	if st.ObjectHandoffs == 0 {
+		t.Error("no object handoffs in 120 ticks of waypoint motion")
+	}
+	if st.QueryHandoffs == 0 {
+		t.Error("no query handoffs in 120 ticks of waypoint motion")
+	}
+	if ex := res.Audit.Exactness(); ex != 1.0 {
+		t.Errorf("exactness = %v under handoff churn", ex)
+	}
+	cl := m.Cluster()
+	for i := range cfg.NumQueries {
+		q := model.QueryID(i + 1)
+		homes := 0
+		for n := 0; n < 2; n++ {
+			if cl.Node(n).HasQuery(q) {
+				homes++
+			}
+		}
+		if homes != 1 {
+			t.Errorf("query %d homed at %d nodes, want exactly 1", q, homes)
+		}
+	}
+}
+
+// Satellite: removing a client on its home node tears the state down
+// federation-wide — no monitor state, relay routes, or awareness entries
+// referencing its queries survive on any node, and the aware objects'
+// client-side monitors are cancelled.
+func TestClientGonePurgesFederation(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.NumQueries = 1
+	m := mustMethod(t, 2, proto(), LinkConfig{})
+	eng, err := sim.NewEngine(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := m.Cluster()
+	q := model.QueryID(1)
+	addr := model.ObjectID(cfg.NumObjects + 1)
+	if !cl.Node(0).HasQuery(q) && !cl.Node(1).HasQuery(q) {
+		t.Fatal("query never registered")
+	}
+	// The Quick world is 1 km wide with ~300 m monitoring regions, so a
+	// cross-boundary install is all but guaranteed; require it so the
+	// teardown below actually has remote state to purge.
+	spread := false
+	for _, n := range cl.nodes {
+		if len(n.remote) > 0 || len(n.spread[q]) > 0 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("monitor never crossed the boundary; purge test is vacuous")
+	}
+
+	cl.HandleClientGone(addr)
+	// Let the cancel broadcasts and link teardown drain.
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range cl.nodes {
+		if n.server.HasQuery(q) {
+			t.Errorf("node %d still has the monitor", i)
+		}
+		if _, routed := n.remote[q]; routed || n.local[q] {
+			t.Errorf("node %d still routes query %d", i, q)
+		}
+		if len(n.spread[q]) > 0 {
+			t.Errorf("node %d still tracks spread for query %d", i, q)
+		}
+		if len(n.awareByQ[q]) > 0 {
+			t.Errorf("node %d still tracks aware objects for query %d", i, q)
+		}
+	}
+	for i, a := range m.agents {
+		if a.MonitorCount() != 0 {
+			t.Errorf("object %d still holds a monitor after federation-wide teardown", i+1)
+		}
+	}
+}
+
+// A lossy link may not destroy a migrating monitor: the handoff retries
+// until acked, and the answers stay exact once the loss clears.
+func TestQueryHandoffSurvivesLinkLoss(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Ticks = 60
+	cfg.DisableAudit = true
+	pc := proto()
+	pc.ResyncTicks = 12
+	m := mustMethod(t, 2, pc, LinkConfig{Loss: 0.5, Seed: 3})
+	eng, err := sim.NewEngine(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Cluster().Stats().QueryHandoffs == 0 {
+		t.Skip("no migration attempted under this seed; nothing to stress")
+	}
+	// Every query must still be homed somewhere (a lost handoff is
+	// retried, never abandoned), exactly once.
+	for i := range cfg.NumQueries {
+		q := model.QueryID(i + 1)
+		homes := 0
+		for n := 0; n < 2; n++ {
+			if m.Cluster().Node(n).HasQuery(q) {
+				homes++
+			}
+		}
+		if homes != 1 {
+			t.Errorf("query %d homed at %d nodes under link loss", q, homes)
+		}
+	}
+	m.Link().SetLoss(0)
+	for i := 0; i < 40; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Link().Stats()
+	if s.Sent != s.Delivered+s.Dropped+uint64(m.Link().PendingCount()) {
+		t.Errorf("link conservation violated: %+v pending %d", s, m.Link().PendingCount())
+	}
+	if s.Dropped == 0 {
+		t.Error("loss phase dropped nothing; test exercised no fault")
+	}
+}

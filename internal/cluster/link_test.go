@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+func TestLinkConfigValidate(t *testing.T) {
+	for _, cfg := range []LinkConfig{
+		{LatencyTicks: -1},
+		{Loss: -0.1},
+		{Loss: 1.0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+// The conservation invariant of the link metering: once the queue is
+// drained, every sent message was either delivered or dropped.
+func TestLinkConservationUnderLossAndLatency(t *testing.T) {
+	now := model.Tick(0)
+	l := NewMemLink(LinkConfig{LatencyTicks: 2, Loss: 0.3, Seed: 7}, func() model.Tick { return now })
+	delivered := 0
+	l.OnDeliver(func(from, to int, m protocol.Message) {
+		delivered++
+		// Handoff-churn shape: some deliveries trigger a reply.
+		if delivered%3 == 0 {
+			l.Send(to, from, protocol.QueryHandoffAck{Query: 1})
+		}
+	})
+	for tick := 0; tick < 50; tick++ {
+		now = model.Tick(tick)
+		for i := 0; i < 8; i++ {
+			l.Send(i%4, (i+1)%4, protocol.NodeClientGone{Object: model.ObjectID(i)})
+		}
+		l.Flush()
+	}
+	// Drain: advance past the latency horizon until nothing is pending.
+	for l.PendingCount() > 0 {
+		now++
+		l.Flush()
+	}
+	s := l.Stats()
+	if s.Sent != s.Delivered+s.Dropped {
+		t.Fatalf("conservation violated: sent %d != delivered %d + dropped %d",
+			s.Sent, s.Delivered, s.Dropped)
+	}
+	if s.Dropped == 0 || s.Delivered == 0 {
+		t.Fatalf("degenerate run: delivered %d, dropped %d", s.Delivered, s.Dropped)
+	}
+	if s.SentBytes == 0 {
+		t.Fatal("no bytes metered")
+	}
+	if uint64(delivered) != s.Delivered {
+		t.Fatalf("handler saw %d deliveries, stats say %d", delivered, s.Delivered)
+	}
+}
+
+// Latency is honored exactly: a message becomes deliverable only once
+// the clock reaches send-tick + LatencyTicks.
+func TestLinkLatency(t *testing.T) {
+	now := model.Tick(10)
+	l := NewMemLink(LinkConfig{LatencyTicks: 3}, func() model.Tick { return now })
+	got := 0
+	l.OnDeliver(func(from, to int, m protocol.Message) { got++ })
+	l.Send(0, 1, protocol.QueryHandoffAck{Query: 1})
+	for ; now < 13; now++ {
+		if l.Flush() != 0 {
+			t.Fatalf("delivered at tick %d, due at 13", now)
+		}
+	}
+	if l.Flush() != 1 || got != 1 {
+		t.Fatal("message not delivered at its due tick")
+	}
+}
+
+// Zero-latency conversations complete within one Flush.
+func TestLinkSameTickConversation(t *testing.T) {
+	now := model.Tick(5)
+	l := NewMemLink(LinkConfig{}, func() model.Tick { return now })
+	var seen []protocol.Kind
+	l.OnDeliver(func(from, to int, m protocol.Message) {
+		seen = append(seen, m.Kind())
+		if _, ok := m.(protocol.QueryHandoff); ok {
+			l.Send(to, from, protocol.QueryHandoffAck{Query: 1})
+		}
+	})
+	l.Send(0, 1, protocol.QueryHandoff{Query: 1, K: 1})
+	if n := l.Flush(); n != 2 {
+		t.Fatalf("flush delivered %d messages, want request+reply", n)
+	}
+	if len(seen) != 2 || seen[0] != protocol.KindQueryHandoff || seen[1] != protocol.KindQueryHandoffAck {
+		t.Fatalf("wrong delivery order: %v", seen)
+	}
+}
+
+// Identical seeds draw identical loss patterns.
+func TestLinkDeterministicLoss(t *testing.T) {
+	run := func() LinkStats {
+		now := model.Tick(0)
+		l := NewMemLink(LinkConfig{Loss: 0.4, Seed: 42}, func() model.Tick { return now })
+		l.OnDeliver(func(from, to int, m protocol.Message) {})
+		for tick := 0; tick < 30; tick++ {
+			now = model.Tick(tick)
+			for i := 0; i < 5; i++ {
+				l.Send(0, 1, protocol.NodeClientGone{Object: model.ObjectID(i)})
+			}
+			l.Flush()
+		}
+		return l.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+// This file holds the monitor-state export/import hooks a spatially
+// partitioned federation (internal/cluster) uses to migrate a query
+// monitor between servers when its focal client crosses a partition
+// boundary. The snapshot is the complete per-query state machine —
+// track, epoch, candidate and inside sets, answer sequence — so the
+// importing server resumes exactly where the exporting one stopped, and
+// the focal client only observes a re-baselining AnswerUpdate on the
+// existing resync path.
+
+import (
+	"slices"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/knn"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// CandidateState is one (object, last known position) pair of an
+// exported monitor's candidate set.
+type CandidateState struct {
+	ID  model.ObjectID
+	Pos geo.Point
+}
+
+// MonitorState is a portable snapshot of one query monitor. All slices
+// are sorted by id so the snapshot (and hence its wire encoding) is
+// deterministic.
+type MonitorState struct {
+	Query model.QueryID
+	K     int
+	Range float64
+	Addr  model.ObjectID
+
+	QPos geo.Point
+	QVel geo.Vector
+	QAt  model.Tick
+
+	Epoch        uint32
+	Installed    bool
+	AnswerRadius float64
+	Radius       float64
+	InstalledAt  model.Tick
+	PrevRegion   geo.Circle
+
+	AnswerSeq   uint32
+	LastProbeAt model.Tick
+
+	Candidates []CandidateState
+	Inside     []model.ObjectID
+	Sent       []model.ObjectID
+}
+
+// ExportMonitor snapshots and removes q's monitor. Unlike a deregister
+// it does NOT broadcast a MonitorCancel: the aware objects keep their
+// installs and continue reporting, which is exactly what a migration
+// wants. It refuses (returns false) while a probe round is in flight —
+// the in-flight replies are addressed to this server and would be lost —
+// so callers retry on a later tick; it also returns false for an
+// unknown query.
+func (s *Server) ExportMonitor(q model.QueryID) (MonitorState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mon, ok := s.monitors[q]
+	if !ok || mon.probing {
+		return MonitorState{}, false
+	}
+	st := MonitorState{
+		Query:        mon.query,
+		K:            mon.k,
+		Range:        mon.rng,
+		Addr:         mon.addr,
+		QPos:         mon.qpos,
+		QVel:         mon.qvel,
+		QAt:          mon.qat,
+		Epoch:        mon.epoch,
+		Installed:    mon.installed,
+		AnswerRadius: mon.answerRadius,
+		Radius:       mon.radius,
+		InstalledAt:  mon.installedAt,
+		PrevRegion:   mon.prevRegion,
+		AnswerSeq:    mon.answerSeq,
+		LastProbeAt:  mon.lastProbeAt,
+	}
+	if n := mon.cands.Len(); n > 0 {
+		st.Candidates = make([]CandidateState, 0, n)
+		mon.cands.Visit(func(id model.ObjectID, p geo.Point) bool {
+			st.Candidates = append(st.Candidates, CandidateState{ID: id, Pos: p})
+			return true
+		})
+		slices.SortFunc(st.Candidates, func(a, b CandidateState) int {
+			return int(a.ID) - int(b.ID)
+		})
+	}
+	st.Inside = sortedIDs(mon.inside)
+	st.Sent = sortedIDs(mon.sent)
+	delete(s.monitors, q)
+	if i, found := slices.BinarySearch(s.order, q); found {
+		s.order = slices.Delete(s.order, i, i+1)
+	}
+	return st, true
+}
+
+// ImportMonitor installs a migrated monitor and immediately re-baselines
+// the focal client with a full AnswerUpdate through the resync path: the
+// answer sequence continues from the exported value, so the client
+// applies the update as an ordinary re-baseline and never observes the
+// migration. A snapshot for an already-registered query is dropped.
+func (s *Server) ImportMonitor(st MonitorState, now model.Tick) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.monitors[st.Query]; exists {
+		return
+	}
+	// The snapshot crossed an inter-node link, which is an open surface
+	// like the radio: apply the register-path sanity bounds.
+	if st.Range < 0 || (st.Range == 0 && (st.K <= 0 || st.K > maxK)) ||
+		!finitePoint(st.QPos) || !finiteVec(st.QVel) {
+		return
+	}
+	mon := &monitor{
+		query:        st.Query,
+		k:            st.K,
+		rng:          st.Range,
+		addr:         st.Addr,
+		qpos:         st.QPos,
+		qvel:         st.QVel,
+		qat:          st.QAt,
+		epoch:        st.Epoch,
+		installed:    st.Installed,
+		answerRadius: st.AnswerRadius,
+		radius:       st.Radius,
+		installedAt:  st.InstalledAt,
+		prevRegion:   st.PrevRegion,
+		answerSeq:    st.AnswerSeq,
+		lastProbeAt:  st.LastProbeAt,
+		cands:        knn.NewCandidateSet(),
+		inside:       make(map[model.ObjectID]bool, len(st.Inside)),
+		sent:         make(map[model.ObjectID]bool, len(st.Sent)),
+		replies:      knn.NewCandidateSet(),
+	}
+	for _, c := range st.Candidates {
+		mon.cands.Set(c.ID, c.Pos)
+	}
+	for _, id := range st.Inside {
+		mon.inside[id] = true
+	}
+	for _, id := range st.Sent {
+		mon.sent[id] = true
+	}
+	// A never-installed snapshot (exported between register and first
+	// probe) restarts its bootstrap here.
+	mon.needsReinstall = !st.Installed
+	s.monitors[st.Query] = mon
+	i, _ := slices.BinarySearch(s.order, st.Query)
+	s.order = slices.Insert(s.order, i, st.Query)
+	if mon.installed {
+		s.resyncAnswer(mon, now)
+	}
+}
+
+// HasQuery reports whether q is registered at this server.
+func (s *Server) HasQuery(q model.QueryID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.monitors[q]
+	return ok
+}
+
+// QueryEstimate extrapolates q's advertised track to now. It is how a
+// federation detects that a focal client drifted out of this server's
+// region and the monitor should migrate.
+func (s *Server) QueryEstimate(q model.QueryID, now model.Tick) (geo.Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mon, ok := s.monitors[q]
+	if !ok {
+		return geo.Point{}, false
+	}
+	return mon.qEst(now, s.deps.DT), true
+}
+
+// QueryAddr returns the focal client address q was registered from.
+func (s *Server) QueryAddr(q model.QueryID) (model.ObjectID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mon, ok := s.monitors[q]
+	if !ok {
+		return 0, false
+	}
+	return mon.addr, true
+}
+
+// QueriesInvolving returns the sorted ids of the queries whose monitor
+// state (candidates, inside set, or last sent answer) currently includes
+// the object. A federation transfers this set on object handoff so the
+// new owner can purge the right monitors when the client disconnects.
+func (s *Server) QueriesInvolving(id model.ObjectID) []model.QueryID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []model.QueryID
+	for _, q := range s.order {
+		mon := s.monitors[q]
+		if mon.cands.Has(id) || mon.inside[id] || mon.sent[id] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// ExportState converts the snapshot to its wire form.
+func (st MonitorState) ExportState() protocol.QueryHandoff {
+	qh := protocol.QueryHandoff{
+		Query:        st.Query,
+		K:            uint32(st.K),
+		Range:        st.Range,
+		Addr:         st.Addr,
+		QPos:         st.QPos,
+		QVel:         st.QVel,
+		QAt:          st.QAt,
+		Epoch:        st.Epoch,
+		Installed:    st.Installed,
+		AnswerRadius: st.AnswerRadius,
+		Radius:       st.Radius,
+		InstalledAt:  st.InstalledAt,
+		PrevRegion:   st.PrevRegion,
+		AnswerSeq:    st.AnswerSeq,
+		LastProbeAt:  st.LastProbeAt,
+		Inside:       st.Inside,
+		Sent:         st.Sent,
+	}
+	if len(st.Candidates) > 0 {
+		qh.Candidates = make([]protocol.CandidateRecord, len(st.Candidates))
+		for i, c := range st.Candidates {
+			qh.Candidates[i] = protocol.CandidateRecord{ID: c.ID, Pos: c.Pos}
+		}
+	}
+	return qh
+}
+
+// ImportState converts a wire handoff back to a snapshot.
+func ImportState(qh protocol.QueryHandoff) MonitorState {
+	st := MonitorState{
+		Query:        qh.Query,
+		K:            int(qh.K),
+		Range:        qh.Range,
+		Addr:         qh.Addr,
+		QPos:         qh.QPos,
+		QVel:         qh.QVel,
+		QAt:          qh.QAt,
+		Epoch:        qh.Epoch,
+		Installed:    qh.Installed,
+		AnswerRadius: qh.AnswerRadius,
+		Radius:       qh.Radius,
+		InstalledAt:  qh.InstalledAt,
+		PrevRegion:   qh.PrevRegion,
+		AnswerSeq:    qh.AnswerSeq,
+		LastProbeAt:  qh.LastProbeAt,
+		Inside:       qh.Inside,
+		Sent:         qh.Sent,
+	}
+	if len(qh.Candidates) > 0 {
+		st.Candidates = make([]CandidateState, len(qh.Candidates))
+		for i, c := range qh.Candidates {
+			st.Candidates[i] = CandidateState{ID: c.ID, Pos: c.Pos}
+		}
+	}
+	return st
+}
+
+// sortedIDs flattens a membership set into a sorted id slice.
+func sortedIDs(set map[model.ObjectID]bool) []model.ObjectID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]model.ObjectID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}

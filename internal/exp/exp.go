@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"dmknn/internal/baseline"
+	"dmknn/internal/cluster"
 	"dmknn/internal/core"
 	"dmknn/internal/shard"
 	"dmknn/internal/sim"
@@ -74,6 +75,15 @@ var (
 	MetricExact  = Metric{"exactness", func(r *sim.Result) float64 { return r.Audit.Exactness() }}
 	MetricRecall = Metric{"mean recall", func(r *sim.Result) float64 { return r.Audit.MeanRecall() }}
 	MetricRadErr = Metric{"radius err", func(r *sim.Result) float64 { return r.Audit.MeanRadiusError() }}
+	// MetricLink and MetricHandoff read the federation counters a
+	// clustered method exposes through sim.ExtraReporter; both are zero
+	// for single-server methods.
+	MetricLink = Metric{"link msgs/tick", func(r *sim.Result) float64 {
+		return r.Extra["link_sent"] / float64(r.Config.Ticks)
+	}}
+	MetricHandoff = Metric{"handoffs", func(r *sim.Result) float64 {
+		return r.Extra["object_handoffs"] + r.Extra["query_handoffs"]
+	}}
 )
 
 // Point is one x-axis value of a sweep: a label and the fully built
@@ -371,7 +381,10 @@ type Profile struct {
 	Mobilities []string
 	Grids      []int
 	Shards     []int
-	Losses     []float64
+	// Nodes are the federation sizes of the fig20 cluster-scaling sweep
+	// (internal/cluster: one spatial partition per node).
+	Nodes  []int
+	Losses []float64
 	// BurstLosses are stationary Gilbert–Elliott loss rates for the
 	// burst-loss sweep (fig18); BurstLen is the mean burst length in
 	// delivery attempts.
@@ -397,6 +410,7 @@ func FullProfile() Profile {
 		Mobilities:  []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
 		Grids:       []int{16, 32, 64, 128},
 		Shards:      []int{1, 2, 4, 8},
+		Nodes:       []int{1, 2, 4, 8},
 		Losses:      []float64{0, 0.01, 0.02, 0.05, 0.10},
 		BurstLosses: []float64{0, 0.05, 0.10, 0.20, 0.30},
 		BurstLen:    8,
@@ -427,6 +441,7 @@ func SmokeProfile() Profile {
 		Mobilities:  []string{workload.ModelWaypoint, workload.ModelDirection, workload.ModelManhattan},
 		Grids:       []int{8, 16, 32},
 		Shards:      []int{1, 4},
+		Nodes:       []int{1, 2, 4, 8},
 		Losses:      []float64{0, 0.05},
 		BurstLosses: []float64{0, 0.10},
 		BurstLen:    4,
@@ -461,6 +476,7 @@ func Suite(p Profile) []*Experiment {
 		p.Fig17LossRobustness(),
 		p.Fig18BurstLoss(),
 		p.Fig19LargeScale(),
+		p.Fig20ClusterScaling(),
 		p.Table3Accuracy(),
 		p.Table4Mobility(),
 	}
@@ -749,6 +765,39 @@ func (p Profile) Fig19LargeScale() *Experiment {
 		cfg.Warmup = 3
 		cfg.DisableAudit = true
 		e.Points = append(e.Points, Point{fmt.Sprint(n), cfg})
+	}
+	return e
+}
+
+// Fig20ClusterScaling: the spatially partitioned federation
+// (internal/cluster) as the node count grows — per-node server time
+// falls with the partition while the inter-node link and the boundary
+// handoffs are the price paid for it. The link is ideal (zero latency,
+// no loss), so the answers stay exact at every node count: the
+// exactness column is the invariant, the other columns are the
+// scaling story.
+func (p Profile) Fig20ClusterScaling() *Experiment {
+	mkCluster := func(n int) MethodSpec {
+		return MethodSpec{
+			Name: fmt.Sprintf("DKNN[%d nodes]", n),
+			Build: func() (sim.Method, error) {
+				return cluster.NewMethod(n, p.Proto, cluster.LinkConfig{})
+			},
+		}
+	}
+	e := &Experiment{
+		ID: "fig20", Title: "Federation scaling: per-node server time, link traffic, handoffs",
+		XLabel:  "N",
+		Metrics: []Metric{MetricServer, MetricLink, MetricHandoff, MetricExact},
+		// Wall-clock metric, and the nodes already tick on parallel
+		// goroutines inside each cell.
+		Serial: true,
+	}
+	for _, n := range p.Nodes {
+		e.Methods = append(e.Methods, mkCluster(n))
+	}
+	for _, n := range p.Ns {
+		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
 	}
 	return e
 }

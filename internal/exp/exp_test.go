@@ -27,14 +27,15 @@ func tiny() Profile {
 	p.Mobilities = []string{workload.ModelWaypoint}
 	p.Grids = []int{8, 16}
 	p.Shards = []int{1, 2}
+	p.Nodes = []int{1, 2}
 	p.Losses = []float64{0, 0.05}
 	return p
 }
 
 func TestSuiteStructure(t *testing.T) {
 	suite := Suite(tiny())
-	if len(suite) != 17 {
-		t.Fatalf("suite has %d experiments, want 17", len(suite))
+	if len(suite) != 18 {
+		t.Fatalf("suite has %d experiments, want 18", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, e := range suite {
@@ -54,7 +55,7 @@ func TestSuiteStructure(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "table3", "table4"} {
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table3", "table4"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}
@@ -306,7 +307,7 @@ func TestSerialExperimentsAndWorkerStamp(t *testing.T) {
 	p.Workers = 3
 	serialIDs := map[string]bool{
 		"fig10": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
-		"fig19": true,
+		"fig19": true, "fig20": true,
 	}
 	for _, e := range Suite(p) {
 		if e.Serial != serialIDs[e.ID] {

@@ -80,6 +80,34 @@ const (
 	// sequence (a lost or reordered AnswerDelta). Uplink.
 	KindAnswerResync
 
+	// The remaining kinds travel on the inter-node link of a spatially
+	// partitioned federation (internal/cluster), never over the radio.
+
+	// KindNodeForward carries a broadcast (probe, install, cancel) from a
+	// query's home node to a neighbor node whose region intersects the
+	// broadcast region; the neighbor rebroadcasts it in its own cells.
+	KindNodeForward
+	// KindNodeRelay carries a client uplink from the node that received
+	// it to the node that owns the addressed query.
+	KindNodeRelay
+	// KindNodeDeliver carries a downlink (answer) from a query's home
+	// node to the node currently serving the focal client's region.
+	KindNodeDeliver
+	// KindObjectHandoff transfers an object that crossed a partition
+	// boundary: its last reported kinematic state plus the per-query
+	// awareness map used to purge remote monitor state on disconnect.
+	KindObjectHandoff
+	// KindQueryHandoff migrates a whole query monitor (candidate set,
+	// inside set, epoch, answer sequence) to a new home node after the
+	// focal client crossed a partition boundary.
+	KindQueryHandoff
+	// KindQueryHandoffAck confirms a QueryHandoff was applied, letting
+	// the old home node drop its retry copy.
+	KindQueryHandoffAck
+	// KindNodeClientGone tells a node that relayed reports for a now
+	// disconnected client to purge the client from its monitor state.
+	KindNodeClientGone
+
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -99,6 +127,13 @@ var kindNames = map[Kind]string{
 	KindAnswerUpdate:    "answer-update",
 	KindAnswerDelta:     "answer-delta",
 	KindAnswerResync:    "answer-resync",
+	KindNodeForward:     "node-forward",
+	KindNodeRelay:       "node-relay",
+	KindNodeDeliver:     "node-deliver",
+	KindObjectHandoff:   "object-handoff",
+	KindQueryHandoff:    "query-handoff",
+	KindQueryHandoffAck: "query-handoff-ack",
+	KindNodeClientGone:  "node-client-gone",
 }
 
 // String implements fmt.Stringer.
@@ -326,6 +361,148 @@ type AnswerResync struct {
 func (AnswerResync) Kind() Kind { return KindAnswerResync }
 
 // ---------------------------------------------------------------------------
+// Inter-node messages (internal/cluster link)
+
+// NodeForward wraps a broadcast for a neighbor node. Home identifies the
+// sending node (the query's answer authority) so the receiver knows where
+// to relay the reports the rebroadcast provokes. Region is the broadcast
+// region as known at the home node — MonitorCancel does not carry one on
+// the radio, so the envelope is authoritative for all three inner kinds.
+// Inner must be a ProbeRequest, MonitorInstall, or MonitorCancel.
+type NodeForward struct {
+	Home   uint16
+	Region geo.Circle
+	Inner  Message
+}
+
+// Kind implements Message.
+func (NodeForward) Kind() Kind { return KindNodeForward }
+
+// NodeRelay wraps a client uplink being forwarded between nodes. Origin
+// is the client that sent it; Hops bounds forwarding chains so routing
+// bugs cannot loop a message forever. Inner must be an uplink kind
+// (probe reply, membership report, or query lifecycle message).
+type NodeRelay struct {
+	Origin model.ObjectID
+	Hops   uint8
+	Inner  Message
+}
+
+// Kind implements Message.
+func (NodeRelay) Kind() Kind { return KindNodeRelay }
+
+// NodeDeliver wraps a downlink for a client whose region belongs to
+// another node. Inner must be an AnswerUpdate or AnswerDelta.
+type NodeDeliver struct {
+	To    model.ObjectID
+	Inner Message
+}
+
+// Kind implements Message.
+func (NodeDeliver) Kind() Kind { return KindNodeDeliver }
+
+// AwareEntry records one query an object carries monitor state for,
+// together with the node the object's reports for it were relayed to.
+type AwareEntry struct {
+	Query model.QueryID
+	Home  uint16
+}
+
+// ObjectHandoff transfers ownership of an object that crossed a
+// partition boundary. Pos/Vel/At are the object's last reported
+// kinematics; Aware is the per-query awareness state the old node
+// accumulated, which the new node needs to purge remote monitors when
+// the client later disconnects.
+type ObjectHandoff struct {
+	Object model.ObjectID
+	Pos    geo.Point
+	Vel    geo.Vector
+	At     model.Tick
+	Aware  []AwareEntry
+}
+
+// Kind implements Message.
+func (ObjectHandoff) Kind() Kind { return KindObjectHandoff }
+
+// CandidateRecord is one (object, position) pair of a migrating
+// monitor's candidate set.
+type CandidateRecord struct {
+	ID  model.ObjectID
+	Pos geo.Point
+}
+
+// QueryHandoff migrates a query monitor to a new home node: the complete
+// server-side state machine (core.MonitorState, flattened) plus Spread,
+// the set of nodes the old home ever forwarded the query's broadcasts
+// to, so the new home can reach them all on teardown.
+type QueryHandoff struct {
+	Query        model.QueryID
+	K            uint32
+	Range        float64
+	Addr         model.ObjectID
+	QPos         geo.Point
+	QVel         geo.Vector
+	QAt          model.Tick
+	Epoch        uint32
+	Installed    bool
+	AnswerRadius float64
+	Radius       float64
+	InstalledAt  model.Tick
+	PrevRegion   geo.Circle
+	AnswerSeq    uint32
+	LastProbeAt  model.Tick
+	Candidates   []CandidateRecord
+	Inside       []model.ObjectID
+	Sent         []model.ObjectID
+	Spread       []uint16
+}
+
+// Kind implements Message.
+func (QueryHandoff) Kind() Kind { return KindQueryHandoff }
+
+// QueryHandoffAck confirms a QueryHandoff was installed at the new home.
+type QueryHandoffAck struct {
+	Query model.QueryID
+}
+
+// Kind implements Message.
+func (QueryHandoffAck) Kind() Kind { return KindQueryHandoffAck }
+
+// NodeClientGone asks a node to purge all monitor state involving a
+// disconnected client.
+type NodeClientGone struct {
+	Object model.ObjectID
+}
+
+// Kind implements Message.
+func (NodeClientGone) Kind() Kind { return KindNodeClientGone }
+
+// validForwardInner reports whether k may ride inside a NodeForward.
+func validForwardInner(k Kind) bool {
+	switch k {
+	case KindProbeRequest, KindMonitorInstall, KindMonitorCancel:
+		return true
+	}
+	return false
+}
+
+// validRelayInner reports whether k may ride inside a NodeRelay.
+func validRelayInner(k Kind) bool {
+	switch k {
+	case KindProbeReply, KindEnterReport, KindExitReport, KindLeaveReport,
+		KindMoveReport, KindQueryRegister, KindQueryMove,
+		KindQueryDeregister, KindAnswerResync:
+		return true
+	}
+	return false
+}
+
+// validDeliverInner reports whether k may ride inside a NodeDeliver.
+func validDeliverInner(k Kind) bool {
+	return k == KindAnswerUpdate || k == KindAnswerDelta
+}
+
+// ---------------------------------------------------------------------------
 // Codec
 
 // ErrTruncated is returned by Decode when the buffer is shorter than the
@@ -419,6 +596,66 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendU32(dst, uint32(v.Query))
 		dst = appendU32(dst, v.LastSeq)
 		dst = appendTick(dst, v.At)
+	case NodeForward:
+		dst = appendU16(dst, v.Home)
+		dst = appendPoint(dst, v.Region.Center)
+		dst = appendF64(dst, v.Region.R)
+		dst = Encode(dst, v.Inner) // nested: consumes the remainder
+	case NodeRelay:
+		dst = appendU32(dst, uint32(v.Origin))
+		dst = append(dst, v.Hops)
+		dst = Encode(dst, v.Inner)
+	case NodeDeliver:
+		dst = appendU32(dst, uint32(v.To))
+		dst = Encode(dst, v.Inner)
+	case ObjectHandoff:
+		dst = appendU32(dst, uint32(v.Object))
+		dst = appendPoint(dst, v.Pos)
+		dst = appendVec(dst, v.Vel)
+		dst = appendTick(dst, v.At)
+		dst = appendU16(dst, uint16(len(v.Aware)))
+		for _, a := range v.Aware {
+			dst = appendU32(dst, uint32(a.Query))
+			dst = appendU16(dst, a.Home)
+		}
+	case QueryHandoff:
+		dst = appendU32(dst, uint32(v.Query))
+		dst = appendU32(dst, v.K)
+		dst = appendF64(dst, v.Range)
+		dst = appendU32(dst, uint32(v.Addr))
+		dst = appendPoint(dst, v.QPos)
+		dst = appendVec(dst, v.QVel)
+		dst = appendTick(dst, v.QAt)
+		dst = appendU32(dst, v.Epoch)
+		dst = appendBool(dst, v.Installed)
+		dst = appendF64(dst, v.AnswerRadius)
+		dst = appendF64(dst, v.Radius)
+		dst = appendTick(dst, v.InstalledAt)
+		dst = appendPoint(dst, v.PrevRegion.Center)
+		dst = appendF64(dst, v.PrevRegion.R)
+		dst = appendU32(dst, v.AnswerSeq)
+		dst = appendTick(dst, v.LastProbeAt)
+		dst = appendU32(dst, uint32(len(v.Candidates)))
+		for _, c := range v.Candidates {
+			dst = appendU32(dst, uint32(c.ID))
+			dst = appendPoint(dst, c.Pos)
+		}
+		dst = appendU32(dst, uint32(len(v.Inside)))
+		for _, id := range v.Inside {
+			dst = appendU32(dst, uint32(id))
+		}
+		dst = appendU32(dst, uint32(len(v.Sent)))
+		for _, id := range v.Sent {
+			dst = appendU32(dst, uint32(id))
+		}
+		dst = appendU16(dst, uint16(len(v.Spread)))
+		for _, n := range v.Spread {
+			dst = appendU16(dst, n)
+		}
+	case QueryHandoffAck:
+		dst = appendU32(dst, uint32(v.Query))
+	case NodeClientGone:
+		dst = appendU32(dst, uint32(v.Object))
 	default:
 		panic(fmt.Sprintf("protocol: Encode of unknown type %T", m))
 	}
@@ -454,6 +691,22 @@ func EncodedSize(m Message) int {
 		return 1 + 4 + 4 + 8 + 2 + len(v.Added)*12 + 2 + len(v.Removed)*4
 	case AnswerResync:
 		return 1 + 4 + 4 + 8
+	case NodeForward:
+		return 1 + 2 + 16 + 8 + EncodedSize(v.Inner)
+	case NodeRelay:
+		return 1 + 4 + 1 + EncodedSize(v.Inner)
+	case NodeDeliver:
+		return 1 + 4 + EncodedSize(v.Inner)
+	case ObjectHandoff:
+		return 1 + 4 + 16 + 16 + 8 + 2 + len(v.Aware)*6
+	case QueryHandoff:
+		return 1 + 4 + 4 + 8 + 4 + 16 + 16 + 8 + 4 + 1 + 8 + 8 + 8 + 24 + 4 + 8 +
+			4 + len(v.Candidates)*20 + 4 + len(v.Inside)*4 + 4 + len(v.Sent)*4 +
+			2 + len(v.Spread)*2
+	case QueryHandoffAck:
+		return 1 + 4
+	case NodeClientGone:
+		return 1 + 4
 	default:
 		panic(fmt.Sprintf("protocol: EncodedSize of unknown type %T", m))
 	}
@@ -584,6 +837,93 @@ func Decode(buf []byte) (Message, error) {
 			LastSeq: r.u32(),
 			At:      r.tick(),
 		}
+	case KindNodeForward:
+		nf := NodeForward{
+			Home:   r.u16(),
+			Region: geo.Circle{Center: r.point(), R: r.f64()},
+		}
+		nf.Inner = r.nested(validForwardInner)
+		m = nf
+	case KindNodeRelay:
+		nr := NodeRelay{
+			Origin: model.ObjectID(r.u32()),
+			Hops:   r.u8(),
+		}
+		nr.Inner = r.nested(validRelayInner)
+		m = nr
+	case KindNodeDeliver:
+		nd := NodeDeliver{To: model.ObjectID(r.u32())}
+		nd.Inner = r.nested(validDeliverInner)
+		m = nd
+	case KindObjectHandoff:
+		oh := ObjectHandoff{
+			Object: model.ObjectID(r.u32()),
+			Pos:    r.point(),
+			Vel:    r.vec(),
+			At:     r.tick(),
+		}
+		n := int(r.u16())
+		if !r.failed && n > 0 {
+			oh.Aware = make([]AwareEntry, 0, n)
+			for i := 0; i < n; i++ {
+				oh.Aware = append(oh.Aware, AwareEntry{
+					Query: model.QueryID(r.u32()),
+					Home:  r.u16(),
+				})
+			}
+		}
+		m = oh
+	case KindQueryHandoff:
+		qh := QueryHandoff{
+			Query:        model.QueryID(r.u32()),
+			K:            r.u32(),
+			Range:        r.f64(),
+			Addr:         model.ObjectID(r.u32()),
+			QPos:         r.point(),
+			QVel:         r.vec(),
+			QAt:          r.tick(),
+			Epoch:        r.u32(),
+			Installed:    r.bool(),
+			AnswerRadius: r.f64(),
+			Radius:       r.f64(),
+			InstalledAt:  r.tick(),
+			PrevRegion:   geo.Circle{Center: r.point(), R: r.f64()},
+			AnswerSeq:    r.u32(),
+			LastProbeAt:  r.tick(),
+		}
+		if nc := r.count32(20); nc > 0 {
+			qh.Candidates = make([]CandidateRecord, 0, nc)
+			for i := 0; i < nc; i++ {
+				qh.Candidates = append(qh.Candidates, CandidateRecord{
+					ID:  model.ObjectID(r.u32()),
+					Pos: r.point(),
+				})
+			}
+		}
+		if ni := r.count32(4); ni > 0 {
+			qh.Inside = make([]model.ObjectID, 0, ni)
+			for i := 0; i < ni; i++ {
+				qh.Inside = append(qh.Inside, model.ObjectID(r.u32()))
+			}
+		}
+		if ns := r.count32(4); ns > 0 {
+			qh.Sent = make([]model.ObjectID, 0, ns)
+			for i := 0; i < ns; i++ {
+				qh.Sent = append(qh.Sent, model.ObjectID(r.u32()))
+			}
+		}
+		nsp := int(r.u16())
+		if !r.failed && nsp > 0 {
+			qh.Spread = make([]uint16, 0, nsp)
+			for i := 0; i < nsp; i++ {
+				qh.Spread = append(qh.Spread, r.u16())
+			}
+		}
+		m = qh
+	case KindQueryHandoffAck:
+		m = QueryHandoffAck{Query: model.QueryID(r.u32())}
+	case KindNodeClientGone:
+		m = NodeClientGone{Object: model.ObjectID(r.u32())}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
@@ -659,6 +999,52 @@ func (r *reader) bool() bool {
 	return b[0] == 1
 }
 
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// count32 reads a u32 element count and rejects values that could not
+// possibly fit in the remaining buffer (given recordSize bytes per
+// element), so a corrupt count cannot drive a huge allocation.
+func (r *reader) count32(recordSize int) int {
+	n := int(r.u32())
+	if r.failed {
+		return 0
+	}
+	if n*recordSize > len(r.buf) {
+		r.failed = true
+		return 0
+	}
+	return n
+}
+
+// nested consumes the remainder of the buffer as one embedded message.
+// The inner kind is validated *before* recursing, and every valid inner
+// kind is a leaf, so decoding depth is bounded at two. The recursive
+// Decode enforces full consumption, which keeps nested framing
+// canonical: the envelope ends exactly where the inner message does.
+func (r *reader) nested(valid func(Kind) bool) Message {
+	if r.failed {
+		return nil
+	}
+	if len(r.buf) == 0 || !valid(Kind(r.buf[0])) {
+		r.failed = true
+		return nil
+	}
+	b := r.buf
+	r.buf = nil
+	in, err := Decode(b)
+	if err != nil {
+		r.failed = true
+		return nil
+	}
+	return in
+}
+
 func (r *reader) point() geo.Point { return geo.Pt(r.f64(), r.f64()) }
 
 func (r *reader) vec() geo.Vector { return geo.Vec(r.f64(), r.f64()) }
@@ -671,6 +1057,10 @@ func (r *reader) memberReport() MemberReport {
 		Pos:    r.point(),
 		At:     r.tick(),
 	}
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(dst, v)
 }
 
 func appendU32(dst []byte, v uint32) []byte {

@@ -42,6 +42,34 @@ func sampleMessages() []Message {
 			Removed: []model.ObjectID{3, 4}},
 		AnswerDelta{Query: 10, Seq: 2, At: 34}, // empty delta
 		AnswerResync{Query: 9, LastSeq: 13, At: 35},
+		NodeForward{Home: 2, Region: geo.Circle{Center: geo.Pt(300, 400), R: 120.5},
+			Inner: ProbeRequest{Query: 3, Seq: 9, Region: geo.Circle{Center: geo.Pt(300, 400), R: 120.5}, At: 36}},
+		NodeForward{Home: 0, Region: geo.Circle{Center: geo.Pt(1, 2), R: 3},
+			Inner: MonitorInstall{Query: 5, Epoch: 4, QueryPos: geo.Pt(1, 2), QueryVel: geo.Vec(0.5, -0.5),
+				AnswerRadius: 2, Radius: 3, At: 37}},
+		NodeForward{Home: 7, Region: geo.Circle{Center: geo.Pt(9, 9), R: -1},
+			Inner: MonitorCancel{Query: 5, Epoch: 4}},
+		NodeRelay{Origin: 42, Hops: 1,
+			Inner: EnterReport{MemberReport{Query: 5, Epoch: 4, Object: 42, Pos: geo.Pt(5, 6), At: 38}}},
+		NodeRelay{Origin: 43, Hops: 3,
+			Inner: QueryMove{Query: 8, Pos: geo.Pt(511, 506), Vel: geo.Vec(2, 1), At: 39}},
+		NodeDeliver{To: 44,
+			Inner: AnswerUpdate{Query: 8, Seq: 14, At: 40, QPos: geo.Pt(513, 505),
+				Neighbors: []model.Neighbor{{ID: 4, Dist: 11.25}}}},
+		ObjectHandoff{Object: 45, Pos: geo.Pt(640, 320), Vel: geo.Vec(-1.5, 2.5), At: 41,
+			Aware: []AwareEntry{{Query: 5, Home: 1}, {Query: 8, Home: 3}}},
+		ObjectHandoff{Object: 46, Pos: geo.Pt(0, 0), Vel: geo.Vec(0, 0), At: 42}, // no awareness
+		QueryHandoff{Query: 8, K: 4, Addr: 1001, QPos: geo.Pt(515, 505), QVel: geo.Vec(2, 0), QAt: 43,
+			Epoch: 6, Installed: true, AnswerRadius: 80.5, Radius: 161, InstalledAt: 40,
+			PrevRegion: geo.Circle{Center: geo.Pt(510, 505), R: 150}, AnswerSeq: 15, LastProbeAt: 12,
+			Candidates: []CandidateRecord{{ID: 4, Pos: geo.Pt(520, 500)}, {ID: 9, Pos: geo.Pt(500, 510)}},
+			Inside:     []model.ObjectID{4, 9},
+			Sent:       []model.ObjectID{4, 9},
+			Spread:     []uint16{0, 2}},
+		QueryHandoff{Query: 12, K: 1, Range: 90.5, Addr: 1002, QPos: geo.Pt(1, 1), QAt: 44,
+			Epoch: 1, AnswerRadius: 90.5, Radius: 140}, // probing-era handoff: empty state
+		QueryHandoffAck{Query: 8},
+		NodeClientGone{Object: 45},
 	}
 }
 
@@ -108,6 +136,41 @@ func TestDecodeUnknownKind(t *testing.T) {
 	if _, err := Decode([]byte{0}); err == nil {
 		t.Fatal("kind 0 accepted")
 	}
+}
+
+// Envelope kinds must reject inner kinds outside their allow-list: a
+// NodeForward may only carry broadcasts, a NodeRelay only uplinks, a
+// NodeDeliver only answers. In particular an envelope nested in an
+// envelope is invalid, which bounds decode recursion at depth two.
+func TestDecodeNestedKindRestrictions(t *testing.T) {
+	bad := []Message{
+		NodeForward{Home: 1, Region: geo.Circle{Center: geo.Pt(1, 2), R: 3},
+			Inner: QueryDeregister{Query: 5}},
+		NodeForward{Home: 1, Region: geo.Circle{Center: geo.Pt(1, 2), R: 3},
+			Inner: NodeForward{Home: 2, Region: geo.Circle{Center: geo.Pt(1, 2), R: 3},
+				Inner: MonitorCancel{Query: 5, Epoch: 1}}},
+		NodeRelay{Origin: 7, Hops: 1, Inner: AnswerUpdate{Query: 5, Seq: 1, At: 2}},
+		NodeRelay{Origin: 7, Hops: 1, Inner: NodeRelay{Origin: 8, Hops: 2,
+			Inner: QueryDeregister{Query: 5}}},
+		NodeDeliver{To: 7, Inner: MonitorCancel{Query: 5, Epoch: 1}},
+	}
+	for _, m := range bad {
+		if _, err := Decode(Encode(nil, m)); err == nil {
+			t.Errorf("%v with inner %v decoded successfully", m.Kind(), innerKind(m))
+		}
+	}
+}
+
+func innerKind(m Message) Kind {
+	switch v := m.(type) {
+	case NodeForward:
+		return v.Inner.Kind()
+	case NodeRelay:
+		return v.Inner.Kind()
+	case NodeDeliver:
+		return v.Inner.Kind()
+	}
+	return 0
 }
 
 func TestAnswerUpdateLargeAnswer(t *testing.T) {

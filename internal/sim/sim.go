@@ -65,6 +65,15 @@ type Method interface {
 	ServerTime() time.Duration
 }
 
+// ExtraReporter is optionally implemented by a Method to expose
+// method-specific cumulative counters (e.g. a federation's inter-node
+// link traffic and handoff counts) beyond what the shared network
+// meters. The engine snapshots the counters at the warmup boundary and
+// reports the measured-phase increase in Result.Extra.
+type ExtraReporter interface {
+	ExtraMetrics() map[string]float64
+}
+
 // QueryRuntime couples a query spec with the live kinematic state of its
 // focal client.
 type QueryRuntime struct {
@@ -192,6 +201,9 @@ type Result struct {
 	Audit metrics.Audit
 	// Traffic accumulated after warmup.
 	Traffic metrics.Counters
+	// Extra holds the measured-phase increase of the method's
+	// ExtraReporter counters; nil when the method reports none.
+	Extra map[string]float64
 	// Elapsed is the wall-clock duration of the measured phase.
 	Elapsed time.Duration
 }
@@ -332,11 +344,16 @@ func (e *Engine) Run() (*Result, error) {
 	var (
 		measuredStart time.Time
 		baseTraffic   metrics.Counters
+		baseExtra     map[string]float64
 	)
+	extra, _ := e.method.(ExtraReporter)
 	for tick := 0; tick < total; tick++ {
 		if tick == e.cfg.Warmup {
 			measuredStart = time.Now()
 			baseTraffic = e.net.Counters().Snapshot()
+			if extra != nil {
+				baseExtra = extra.ExtraMetrics()
+			}
 		}
 		prevTraffic := e.net.Counters().Snapshot()
 		prevServer := e.method.ServerTime()
@@ -357,6 +374,13 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	res.Traffic = e.net.Counters().Diff(baseTraffic)
 	res.Elapsed = time.Since(measuredStart)
+	if extra != nil {
+		end := extra.ExtraMetrics()
+		res.Extra = make(map[string]float64, len(end))
+		for k, v := range end {
+			res.Extra[k] = v - baseExtra[k]
+		}
+	}
 	return res, nil
 }
 

@@ -156,6 +156,11 @@ type queued struct {
 	from   model.ObjectID // uplink sender
 	to     model.ObjectID // downlink recipient
 	region geo.Circle     // broadcast coverage
+	// filter restricts a broadcast to the cells it accepts (nil: all
+	// cells). A federated deployment gives each node a filter selecting
+	// the cells it owns, so a node's broadcast only reaches its own
+	// region and sibling nodes cover the rest of the circle.
+	filter func(grid.Cell) bool
 	msg    protocol.Message
 }
 
@@ -340,14 +345,27 @@ func (n *Network) SetNow(t model.Tick) { n.now = t }
 func (n *Network) Now() model.Tick { return n.now }
 
 // ServerSide returns the sending surface for the server.
-func (n *Network) ServerSide() transport.ServerSide { return serverSide{n} }
+func (n *Network) ServerSide() transport.ServerSide { return serverSide{n: n} }
+
+// RestrictedServerSide returns a server sending surface whose broadcasts
+// cover only the cells the filter accepts: transmissions are metered for
+// and delivered in accepted cells alone. Downlinks are unaffected. When
+// several surfaces with disjoint filters partition the grid — one per
+// federation node — their aggregate metering and coverage for a given
+// region equal one unrestricted broadcast of it.
+func (n *Network) RestrictedServerSide(filter func(grid.Cell) bool) transport.ServerSide {
+	return serverSide{n: n, filter: filter}
+}
 
 // ClientSide returns the sending surface for client id.
 func (n *Network) ClientSide(id model.ObjectID) transport.ClientSide {
 	return clientSide{n, id}
 }
 
-type serverSide struct{ n *Network }
+type serverSide struct {
+	n      *Network
+	filter func(grid.Cell) bool // nil: broadcasts cover every cell
+}
 
 func (s serverSide) Downlink(to model.ObjectID, m protocol.Message) {
 	n := s.n
@@ -359,8 +377,10 @@ func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
 	n := s.n
 	size := protocol.EncodedSize(m)
 	cells := 0
-	n.cfg.Geometry.VisitCellsIntersecting(region, func(grid.Cell) bool {
-		cells++
+	n.cfg.Geometry.VisitCellsIntersecting(region, func(c grid.Cell) bool {
+		if s.filter == nil || s.filter(c) {
+			cells++
+		}
 		return true
 	})
 	// One cell-level transmission per covered cell.
@@ -370,7 +390,7 @@ func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
 	if cells == 0 {
 		return
 	}
-	n.enqueue(queued{dir: metrics.Broadcast, region: region, msg: m})
+	n.enqueue(queued{dir: metrics.Broadcast, region: region, filter: s.filter, msg: m})
 }
 
 type clientSide struct {
@@ -544,7 +564,9 @@ func (n *Network) deliverBroadcast(q queued) int {
 	n.refreshCellIndex()
 	rec := n.recipients[:0]
 	n.cfg.Geometry.VisitCellsIntersecting(q.region, func(c grid.Cell) bool {
-		rec = append(rec, n.cellIDs[n.cfg.Geometry.CellIndex(c)]...)
+		if q.filter == nil || q.filter(c) {
+			rec = append(rec, n.cellIDs[n.cfg.Geometry.CellIndex(c)]...)
+		}
 		return true
 	})
 	slices.Sort(rec)
@@ -581,7 +603,9 @@ func (n *Network) deliverBroadcastLinear(q queued) int {
 	cells := n.cfg.Geometry.CellsIntersecting(q.region)
 	inCell := make(map[grid.Cell]bool, len(cells))
 	for _, c := range cells {
-		inCell[c] = true
+		if q.filter == nil || q.filter(c) {
+			inCell[c] = true
+		}
 	}
 	delivered := 0
 	for _, id := range n.sortedIDs() {
