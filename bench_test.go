@@ -149,6 +149,13 @@ func BenchmarkFig20ClusterScaling(b *testing.B) {
 	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig20ClusterScaling() })
 }
 
+// BenchmarkFig21Staleness regenerates Fig 21: answer staleness and
+// report-gap quantiles vs radio loss, collected by the engine's Observe
+// mode from the per-query lifecycle trace.
+func BenchmarkFig21Staleness(b *testing.B) {
+	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig21Staleness() })
+}
+
 // BenchmarkTable2Breakdown regenerates Table 2: message breakdown by kind
 // and direction.
 func BenchmarkTable2Breakdown(b *testing.B) {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dknn-bench [-profile full|smoke] [-only fig5,table3] [-markdown]
-//	           [-workers N] [-json out.json]
+//	           [-workers N] [-json out.json] [-trace]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The full profile is paper-scale (tens of thousands of objects; expect
@@ -29,6 +29,12 @@
 // experiments (see README.md §Profiling), which is how hot-path
 // regressions in the simulated medium and the server are diagnosed from
 // a reproducible command line.
+//
+// -trace arms a shared flight recorder on every simulation of the
+// selected experiments and prints a per-event-type census after each
+// one — a quick structural sanity check (probes concluded, installs
+// landed, resyncs fired) without touching the tables, which stay
+// byte-identical with tracing on or off.
 package main
 
 import (
@@ -39,10 +45,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"dmknn/internal/exp"
+	"dmknn/internal/obs"
 )
 
 // expTiming is one experiment's entry in the -json report.
@@ -74,6 +82,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "repetitions per cell with distinct workload seeds (mean reported)")
 	workers := flag.Int("workers", 0, "worker pool size for experiment cells (0 = GOMAXPROCS; Serial experiments ignore it)")
 	jsonPath := flag.String("json", "", "also write a machine-readable timing report to this file")
+	trace := flag.Bool("trace", false, "arm a flight recorder on every simulation and print a per-event census after each experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
@@ -148,6 +157,16 @@ func main() {
 			continue
 		}
 		e.Seeds = *seeds
+		var rec *obs.Recorder
+		if *trace {
+			// One shared recorder across the experiment's cells: the
+			// census below is a structural summary, so lifetime counts
+			// matter and the retained tail does not.
+			rec = obs.NewRecorder(0)
+			for i := range e.Points {
+				e.Points[i].Config.Trace = rec
+			}
+		}
 		start := time.Now()
 		table, err := e.Run()
 		if err != nil {
@@ -165,6 +184,19 @@ func main() {
 			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "dknn-bench: %v\n", err)
 				os.Exit(1)
+			}
+		}
+		if rec != nil {
+			counts := rec.Counts()
+			keys := make([]string, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Printf("trace census: %d events across %d cells\n",
+				rec.Total(), len(e.Points)*len(e.Methods))
+			for _, k := range keys {
+				fmt.Printf("  %-22s %d\n", k, counts[k])
 			}
 		}
 		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))

@@ -5,14 +5,23 @@
 //
 //	dknnd [-addr :7App7] [-world 10000] [-grid 64] [-tick 1s]
 //	      [-vobj 30] [-vqry 30] [-horizon 20] [-slack 10] [-theta 0]
+//	      [-http :8080] [-trace]
 //
 // The daemon prints its listen address and, once a second, a one-line
 // status with connected clients and registered queries. Stop with
 // SIGINT/SIGTERM.
+//
+// -trace arms an in-memory flight recorder on the protocol engine. With
+// -http also set, the per-event-type census is exported through the
+// standard expvar surface at /debug/vars (key "dknnd_trace", alongside
+// "dknnd_stats"), so any expvar-speaking scraper can watch probe,
+// install, answer, and resync rates live; the recorder's bounded tail of
+// recent events stays available for post-mortems.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
@@ -22,6 +31,7 @@ import (
 	"time"
 
 	"dmknn"
+	"dmknn/internal/obs"
 )
 
 func main() {
@@ -36,9 +46,10 @@ func main() {
 	theta := flag.Float64("theta", 0, "in-boundary movement threshold, meters")
 	quiet := flag.Bool("quiet", false, "suppress the periodic status line")
 	httpAddr := flag.String("http", "", "serve operational stats as JSON on this address (e.g. :8080)")
+	trace := flag.Bool("trace", false, "arm a protocol flight recorder (census at /debug/vars with -http)")
 	flag.Parse()
 
-	srv, err := dmknn.ListenAndServe(*addr, dmknn.ServerOptions{
+	opts := dmknn.ServerOptions{
 		World:          dmknn.Rect{MinX: 0, MinY: 0, MaxX: *world, MaxY: *world},
 		GridCols:       *gridN,
 		GridRows:       *gridN,
@@ -50,7 +61,13 @@ func main() {
 			AnswerSlack:  *slack,
 			ThetaInside:  *theta,
 		},
-	})
+	}
+	var rec *obs.Recorder
+	if *trace {
+		rec = obs.NewRecorder(0)
+		opts.Trace = rec
+	}
+	srv, err := dmknn.ListenAndServe(*addr, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dknnd: %v\n", err)
 		os.Exit(1)
@@ -65,12 +82,20 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		// The standard expvar surface: process-wide vars (memstats,
+		// cmdline) plus the daemon's operational counters, and — with
+		// -trace — the flight recorder's per-event-type census.
+		expvar.Publish("dknnd_stats", expvar.Func(func() any { return srv.Stats() }))
+		if rec != nil {
+			expvar.Publish("dknnd_trace", expvar.Func(func() any { return rec.Counts() }))
+		}
+		mux.Handle("/debug/vars", expvar.Handler())
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "dknnd: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("dknnd: stats at http://%s/stats\n", *httpAddr)
+		fmt.Printf("dknnd: stats at http://%s/stats, expvar at /debug/vars\n", *httpAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

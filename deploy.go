@@ -14,6 +14,7 @@ import (
 	"dmknn/internal/model"
 	"dmknn/internal/nettcp"
 	"dmknn/internal/netudp"
+	"dmknn/internal/obs"
 	"dmknn/internal/protocol"
 	"dmknn/internal/shard"
 	"dmknn/internal/transport"
@@ -45,6 +46,12 @@ type ServerOptions struct {
 	// — lossy and unordered, the medium class the protocol was designed
 	// for; silent clients expire after three horizons).
 	Transport string
+	// Trace, when set, receives the query server's structured protocol
+	// events (see internal/obs). The sink is invoked from the tick loop
+	// and the transport's receive goroutines, so it must be safe for
+	// concurrent use; obs.Recorder is. Nil disables tracing: the hot
+	// paths then pay one branch per would-be event and nothing else.
+	Trace obs.Sink
 }
 
 // Transport names for ServerOptions/ClientOptions.
@@ -161,6 +168,7 @@ func ListenAndServe(addr string, opts ServerOptions) (*Server, error) {
 		// one tick each way so Finalize does not conclude a probe before
 		// the replies can possibly have arrived.
 		LatencyTicks: 1,
+		Trace:        opts.Trace,
 	}
 	var srv serverCore
 	var err2 error

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dmknn/internal/obs"
 )
 
 // quickSim is a small, fast configuration for facade tests.
@@ -311,6 +313,66 @@ func TestServerStats(t *testing.T) {
 			t.Fatalf("stats never saw the client: %+v", srv.Stats())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A deployed server with ServerOptions.Trace armed must stream protocol
+// events through the real TCP stack into the recorder: registration, the
+// probe rounds, the install, and the first full answer all leave a trace.
+func TestDeploymentTraceRecorder(t *testing.T) {
+	world := Rect{0, 0, 1000, 1000}
+	tick := 20 * time.Millisecond
+	proto := Protocol{HorizonTicks: 8, MinProbeRadius: 100, AnswerSlack: 1}
+	rec := obs.NewRecorder(0)
+	srv, err := ListenAndServe("127.0.0.1:0", ServerOptions{
+		World: world, GridCols: 10, GridRows: 10, TickInterval: tick,
+		MaxObjectSpeed: 10, MaxQuerySpeed: 10, Protocol: proto,
+		Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	copts := ClientOptions{World: world, TickInterval: tick, Protocol: proto}
+	oc, err := DialObject(srv.Addr(), 1, func() Point { return Point{500, 520} }, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oc.Close()
+	answers := make(chan Answer, 16)
+	qc, err := DialQuery(srv.Addr(), 100, 1, 1,
+		func() Point { return Point{500, 500} },
+		func() Vector { return Vector{} },
+		func(a Answer) {
+			select {
+			case answers <- a:
+			default:
+			}
+		}, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case a := <-answers:
+			if len(a.Neighbors) != 1 {
+				continue
+			}
+			for _, ev := range []obs.EventType{
+				obs.EvQueryRegistered, obs.EvProbe, obs.EvInstalled, obs.EvAnswerFull,
+			} {
+				if rec.Count(ev) == 0 {
+					t.Errorf("no %v event traced across the deployment", ev)
+				}
+			}
+			return
+		case <-deadline:
+			t.Fatalf("no complete answer; recorder holds %d events", rec.Total())
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"dmknn/internal/core"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/sim"
 	"dmknn/internal/simnet"
 	"dmknn/internal/workload"
@@ -69,6 +70,12 @@ func TestClusterChaosReconvergence(t *testing.T) {
 			cfg.NumQueries = 4
 			cfg.LatencyTicks = 0 // exactness is only defined under same-tick delivery
 			cfg.DisableAudit = true
+
+			// Flight recorder: a failed reconvergence dumps the handoff
+			// and answer history instead of a bare assertion.
+			rec := obs.NewRecorder(0)
+			cfg.Trace = rec
+			obs.DumpOnFailure(t, rec)
 
 			pc := chaosProto()
 			m := mustMethod(t, 2, pc, LinkConfig{Loss: 0.35, Seed: seed})

@@ -41,6 +41,7 @@ import (
 	"dmknn/internal/geo"
 	"dmknn/internal/grid"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/protocol"
 	"dmknn/internal/transport"
 )
@@ -166,6 +167,11 @@ type Deps struct {
 	MaxObjectSpeed float64
 	MaxQuerySpeed  float64
 	LatencyTicks   int
+	// Trace, when non-nil, receives federation lifecycle events (handoffs,
+	// relay drops) and — stamped with the node id — every per-node server's
+	// protocol events. Node servers tick on parallel goroutines, so the
+	// sink must be safe for concurrent use.
+	Trace obs.Sink
 }
 
 // Cluster is the federation: the partition, the per-node servers, and
@@ -264,6 +270,7 @@ func New(part Partition, cfg core.Config, deps Deps) (*Cluster, error) {
 			MaxObjectSpeed: deps.MaxObjectSpeed,
 			MaxQuerySpeed:  deps.MaxQuerySpeed,
 			LatencyTicks:   deps.LatencyTicks,
+			Trace:          obs.WithNode(deps.Trace, int16(i)),
 		})
 		if err != nil {
 			return nil, err
@@ -300,6 +307,16 @@ func (c *Cluster) homeOf(id model.ObjectID) int {
 }
 
 func (c *Cluster) now() model.Tick { return c.deps.Now() }
+
+// emit records one federation-level event stamped with the acting node.
+// All call sites run in the serial phases (uplink routing, link delivery,
+// migration scan), never inside the parallel server ticks.
+func (c *Cluster) emit(node int, e obs.Event) {
+	e.At = c.now()
+	e.Node = int16(node)
+	e.Dir = -1
+	c.deps.Trace.Record(e)
+}
 
 // sendLink sends one inter-node message from a serial phase (uplink
 // handling, link delivery, migration scan). Node server callbacks that
@@ -361,6 +378,9 @@ func (n *node) handleUplink(from model.ObjectID, msg protocol.Message, hops int)
 	case known:
 		if hops >= maxRelayHops {
 			c.stats.RelayDrops++
+			if c.deps.Trace != nil {
+				c.emit(n.id, obs.Event{Type: obs.EvRelayDropped, Query: q, Object: from, Kind: msg.Kind()})
+			}
 			return
 		}
 		c.relay(n.id, home, from, msg, hops)
@@ -377,6 +397,9 @@ func (n *node) handleUplink(from model.ObjectID, msg protocol.Message, hops int)
 			}
 		}
 		c.stats.RelayDrops++
+		if c.deps.Trace != nil {
+			c.emit(n.id, obs.Event{Type: obs.EvRelayDropped, Query: q, Object: from, Kind: msg.Kind()})
+		}
 	}
 }
 
@@ -481,6 +504,9 @@ func (n *node) handoffObject(id model.ObjectID, to int, pos geo.Point, vel geo.V
 	c := n.c
 	c.home[id] = to
 	c.stats.ObjectHandoffs++
+	if c.deps.Trace != nil {
+		c.emit(n.id, obs.Event{Type: obs.EvObjectHandoffBegun, Object: id, Value: float64(to)})
+	}
 	oh := protocol.ObjectHandoff{Object: id, Pos: pos, Vel: vel, At: at}
 	// Awareness accumulated from relays, plus the local queries whose
 	// monitors currently involve the object — their home is this node.
@@ -570,6 +596,9 @@ func (c *Cluster) migrateQueries(now model.Tick) {
 			n.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
 			c.sendLink(n.id, dest, qh)
 			c.stats.QueryHandoffs++
+			if c.deps.Trace != nil {
+				c.emit(n.id, obs.Event{Type: obs.EvQueryHandoffBegun, Query: q, Seq: qh.AnswerSeq, Value: float64(dest)})
+			}
 		}
 		for _, q := range sortedPending(n.pending) {
 			p := n.pending[q]
@@ -636,6 +665,9 @@ func (c *Cluster) HandleLink(from, to int, m protocol.Message) {
 	case protocol.QueryHandoff:
 		n.handleQueryHandoff(from, v)
 	case protocol.QueryHandoffAck:
+		if _, waiting := n.pending[v.Query]; waiting && c.deps.Trace != nil {
+			c.emit(to, obs.Event{Type: obs.EvHandoffAcked, Query: v.Query})
+		}
 		delete(n.pending, v.Query)
 	case protocol.NodeClientGone:
 		n.server.HandleClientGone(v.Object)

@@ -9,6 +9,7 @@ import (
 	"dmknn/internal/grid"
 	"dmknn/internal/metrics"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/sim"
 	"dmknn/internal/workload"
 )
@@ -156,6 +157,88 @@ func TestSingleNodeWireIdentity(t *testing.T) {
 	}
 	if st := m.Cluster().Stats(); st.ObjectHandoffs != 0 || st.QueryHandoffs != 0 {
 		t.Errorf("single-node cluster recorded handoffs: %+v", st)
+	}
+}
+
+// Tracing is a pure tap on the federation too: with a flight recorder
+// attached and histogram collection on, a traced single-server run and a
+// traced one-node cluster run both stay wire-identical to the untraced
+// single-server run — and the recorder actually saw the protocol, with
+// the cluster's events stamped by node.
+func TestSingleNodeWireIdentityWithTracing(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Ticks = 60
+
+	baseline, err := core.New(proto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := sim.Run(cfg, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	singleRec := obs.NewRecorder(0)
+	tcfg := cfg
+	tcfg.Trace = singleRec
+	tcfg.Observe = true
+	single, err := core.New(proto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Run(tcfg, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clusterRec := obs.NewRecorder(0)
+	ccfg := cfg
+	ccfg.Trace = clusterRec
+	ccfg.Observe = true
+	m := mustMethod(t, 1, proto(), LinkConfig{})
+	r2, err := sim.Run(ccfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range metrics.Directions() {
+		if r0.Traffic.Sent(d) != r1.Traffic.Sent(d) || r0.Traffic.SentBytes(d) != r1.Traffic.SentBytes(d) {
+			t.Errorf("%v: tracing perturbed the single server (sent %d→%d)",
+				d, r0.Traffic.Sent(d), r1.Traffic.Sent(d))
+		}
+		if r0.Traffic.Sent(d) != r2.Traffic.Sent(d) || r0.Traffic.SentBytes(d) != r2.Traffic.SentBytes(d) {
+			t.Errorf("%v: tracing perturbed the cluster (sent %d→%d)",
+				d, r0.Traffic.Sent(d), r2.Traffic.Sent(d))
+		}
+	}
+	if singleRec.Total() == 0 || clusterRec.Total() == 0 {
+		t.Fatalf("recorders empty: single %d, cluster %d", singleRec.Total(), clusterRec.Total())
+	}
+	if r1.Staleness == nil || r1.Staleness.Count() == 0 {
+		t.Error("observed run collected no staleness samples")
+	}
+	// Single-server events carry no node; the cluster's server events are
+	// stamped with the (only) node id.
+	for _, ev := range singleRec.Events() {
+		if ev.Node >= 0 {
+			t.Fatalf("single-server event carries node id: %v", ev)
+		}
+	}
+	if clusterRec.Count(obs.EvProbe) == 0 {
+		t.Error("cluster trace recorded no probes")
+	}
+	// The ring retains only the tail of the run, but the node's server
+	// keeps emitting (installs, answers) throughout — some retained event
+	// must carry the node stamp.
+	stamped := false
+	for _, ev := range clusterRec.Events() {
+		if ev.Node == 0 {
+			stamped = true
+			break
+		}
+	}
+	if !stamped {
+		t.Error("no node-stamped event in the cluster trace")
 	}
 }
 

@@ -68,6 +68,7 @@ func (m *Method) Setup(env *sim.Env) error {
 		MaxObjectSpeed: env.MaxObjectSpeed,
 		MaxQuerySpeed:  env.MaxQuerySpeed,
 		LatencyTicks:   latency,
+		Trace:          env.Trace,
 	})
 	if err != nil {
 		return err
@@ -94,6 +95,7 @@ func (m *Method) Setup(env *sim.Env) error {
 			Pos:          func() geo.Point { return env.Objects[idx].Pos },
 			DT:           env.DT,
 			LatencyTicks: latency,
+			Trace:        env.Trace,
 		})
 		if err != nil {
 			return err
@@ -113,6 +115,7 @@ func (m *Method) Setup(env *sim.Env) error {
 				Pos:          func() geo.Point { return env.Queries[idx].State.Pos },
 				DT:           env.DT,
 				LatencyTicks: latency,
+				Trace:        env.Trace,
 			},
 			Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
 		})

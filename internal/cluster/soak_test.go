@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+
+	"dmknn/internal/model"
+	"dmknn/internal/obs"
+	"dmknn/internal/sim"
+	"dmknn/internal/workload"
+)
+
+// seqAdvanced reports whether b is a newer answer sequence than a under
+// the protocol's wraparound comparison (mirrors core's seqNewer).
+func seqAdvanced(a, b uint32) bool { return int32(b-a) > 0 }
+
+// Satellite: the handoff-race soak. A focal client drifting across a
+// strip boundary migrates its monitor (query handoff) while the objects
+// it monitors cross the same boundary (object handoffs) — the two
+// mechanisms race at the same seam. The invariant under an ideal link:
+// the client-facing answer sequence for every query only ever advances,
+// across any number of migrations, and the answers stay exact. The
+// flight recorder is the witness: it captures every answer send and both
+// handoff kinds, and dumps the protocol history if the soak fails.
+func TestSoakQueryHandoffRacesObjectHandoff(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Ticks = 240
+	rec := obs.NewRecorder(1 << 18)
+	cfg.Trace = rec
+	obs.DumpOnFailure(t, rec)
+
+	m := mustMethod(t, 2, proto(), LinkConfig{})
+	res, err := sim.Run(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := res.Audit.Exactness(); ex != 1.0 {
+		t.Errorf("exactness = %v under handoff churn", ex)
+	}
+	st := m.Cluster().Stats()
+	if st.ObjectHandoffs == 0 || st.QueryHandoffs == 0 {
+		t.Fatalf("soak exercised no race: %+v", st)
+	}
+	if rec.Count(obs.EvHandoffAcked) == 0 {
+		t.Error("no handoff was ever acked")
+	}
+
+	// Answer-sequence continuity per query, across migrations: every
+	// answer the federation sends carries a seq strictly newer than the
+	// previous one for that query (an ideal link resends nothing).
+	lastSeq := map[model.QueryID]uint32{}
+	answers := 0
+	migrated := map[model.QueryID]bool{}
+	objHandoffTicks := map[model.Tick]bool{}
+	racedTicks := 0
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.EvAnswerFull, obs.EvAnswerDelta:
+			answers++
+			if prev, ok := lastSeq[ev.Query]; ok && !seqAdvanced(prev, ev.Seq) {
+				t.Fatalf("answer seq regressed for query %d: %d after %d (t=%d)",
+					ev.Query, ev.Seq, prev, ev.At)
+			}
+			lastSeq[ev.Query] = ev.Seq
+		case obs.EvQueryHandoffBegun:
+			migrated[ev.Query] = true
+		case obs.EvObjectHandoffBegun:
+			objHandoffTicks[ev.At] = true
+		}
+	}
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvQueryHandoffBegun && objHandoffTicks[ev.At] {
+			racedTicks++
+		}
+	}
+	if answers == 0 {
+		t.Fatal("trace recorded no answers")
+	}
+	if len(migrated) == 0 {
+		t.Fatal("no query ever migrated")
+	}
+	if racedTicks == 0 {
+		t.Error("no tick saw a query handoff and an object handoff together; the race never happened")
+	}
+	for q := range migrated {
+		if _, ok := lastSeq[q]; !ok {
+			t.Errorf("query %d migrated but no answer was ever traced for it", q)
+		}
+	}
+	t.Logf("soak: %d answers, %d migrated queries, %d object handoffs, %d same-tick races",
+		answers, len(migrated), st.ObjectHandoffs, racedTicks)
+}

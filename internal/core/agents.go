@@ -6,6 +6,7 @@ import (
 
 	"dmknn/internal/geo"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/protocol"
 	"dmknn/internal/transport"
 )
@@ -31,6 +32,17 @@ type AgentDeps struct {
 	// LatencyTicks is the known one-way delivery delay bound; the query
 	// agent paces answer-resync retries by the round trip it implies.
 	LatencyTicks int
+	// Trace, when non-nil, receives an event per client-side protocol
+	// action (report sent or suppressed, boundary crossed, resync
+	// requested). nil disables tracing.
+	Trace obs.Sink
+}
+
+// emitAgent marks the node/direction fields unset and records e; call
+// sites guard with deps.Trace != nil.
+func emitAgent(tr obs.Sink, e obs.Event) {
+	e.Node, e.Dir = -1, -1
+	tr.Record(e)
 }
 
 // ObjectAgent is the logic running on one moving data object: it answers
@@ -92,10 +104,15 @@ func (a *ObjectAgent) HandleServerMessage(msg protocol.Message) {
 	switch v := msg.(type) {
 	case protocol.ProbeRequest:
 		if p := a.deps.Pos(); v.Region.Contains(p) {
+			now := a.deps.Now()
 			a.deps.Side.Uplink(protocol.ProbeReply{
 				Query: v.Query, Seq: v.Seq, Object: a.deps.ID, Pos: p,
-				At: a.deps.Now(),
+				At: now,
 			})
+			if a.deps.Trace != nil {
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvReportSent,
+					Query: v.Query, Object: a.deps.ID, Kind: protocol.KindProbeReply, Seq: v.Seq})
+			}
 		}
 	case protocol.MonitorInstall:
 		a.handleInstall(v)
@@ -124,6 +141,10 @@ func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall) {
 			a.deps.Side.Uplink(protocol.ExitReport{MemberReport: protocol.MemberReport{
 				Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
 			}})
+			if a.deps.Trace != nil {
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvBoundaryCrossed,
+					Query: v.Query, Object: a.deps.ID, Kind: protocol.KindExitReport, Value: d})
+			}
 		}
 		a.drop(v.Query)
 		return
@@ -145,11 +166,19 @@ func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall) {
 				Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
 			}})
 			reported = true
+			if a.deps.Trace != nil {
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvBoundaryCrossed,
+					Query: v.Query, Object: a.deps.ID, Kind: protocol.KindEnterReport, Value: d})
+			}
 		case !side && had && prev.inside:
 			a.deps.Side.Uplink(protocol.ExitReport{MemberReport: protocol.MemberReport{
 				Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
 			}})
 			reported = true
+			if a.deps.Trace != nil {
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvBoundaryCrossed,
+					Query: v.Query, Object: a.deps.ID, Kind: protocol.KindExitReport, Value: d})
+			}
 		}
 	}
 	// lastReport must track what the *server* knows about us. After a
@@ -221,6 +250,10 @@ func (a *ObjectAgent) Tick(now model.Tick) {
 				a.deps.Side.Uplink(protocol.LeaveReport{MemberReport: protocol.MemberReport{
 					Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
 				}})
+				if a.deps.Trace != nil {
+					emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvReportSent,
+						Query: q, Object: a.deps.ID, Kind: protocol.KindLeaveReport, Value: d})
+				}
 			}
 			dropped = append(dropped, q)
 			continue
@@ -234,6 +267,10 @@ func (a *ObjectAgent) Tick(now model.Tick) {
 			mon.inside = true
 			mon.lastReport = p
 			mon.lastSentAt = now
+			if a.deps.Trace != nil {
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvBoundaryCrossed,
+					Query: q, Object: a.deps.ID, Kind: protocol.KindEnterReport, Value: d})
+			}
 		case !side && mon.inside:
 			a.deps.Side.Uplink(protocol.ExitReport{MemberReport: protocol.MemberReport{
 				Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
@@ -241,12 +278,28 @@ func (a *ObjectAgent) Tick(now model.Tick) {
 			mon.inside = false
 			mon.lastReport = p
 			mon.lastSentAt = now
-		case side && !mon.rangeMode && p.Dist(mon.lastReport) > theta:
-			a.deps.Side.Uplink(protocol.MoveReport{MemberReport: protocol.MemberReport{
-				Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
-			}})
-			mon.lastReport = p
-			mon.lastSentAt = now
+			if a.deps.Trace != nil {
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvBoundaryCrossed,
+					Query: q, Object: a.deps.ID, Kind: protocol.KindExitReport, Value: d})
+			}
+		case side && !mon.rangeMode:
+			drift := p.Dist(mon.lastReport)
+			if drift > theta {
+				a.deps.Side.Uplink(protocol.MoveReport{MemberReport: protocol.MemberReport{
+					Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
+				}})
+				mon.lastReport = p
+				mon.lastSentAt = now
+				if a.deps.Trace != nil {
+					emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvReportSent,
+						Query: q, Object: a.deps.ID, Kind: protocol.KindMoveReport, Value: drift})
+				}
+			} else if a.deps.Trace != nil {
+				// The in-circle threshold just saved an uplink: the drift
+				// stayed under theta, so the server's copy is close enough.
+				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvReportSuppressed,
+					Query: q, Object: a.deps.ID, Kind: protocol.KindMoveReport, Value: drift})
+			}
 		}
 	}
 	for _, q := range dropped {
@@ -362,6 +415,10 @@ func (qc *QueryAgent) sendResync(now model.Tick) {
 	})
 	qc.resyncPending = true
 	qc.resyncSentAt = now
+	if qc.deps.Trace != nil {
+		emitAgent(qc.deps.Trace, obs.Event{At: now, Type: obs.EvResyncRequested,
+			Query: qc.spec.ID, Seq: qc.answerSeq})
+	}
 }
 
 // Deregister removes the continuous query from the server and discards

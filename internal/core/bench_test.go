@@ -24,6 +24,24 @@ func BenchmarkServerMoveReport(b *testing.B) {
 	}
 }
 
+// The move-report path must stay allocation-free with tracing disabled:
+// the emit sites are value-typed events behind a nil check, so a nil
+// sink costs one branch and no boxing. Enforced as a test so plain CI
+// runs catch a regression without -bench.
+func TestServerMoveReportZeroAllocTracingOff(t *testing.T) {
+	srv, side, now := benchServer(t)
+	*now = 1
+	inst := benchInstall(t, srv, side)
+	msg := protocol.MoveReport{MemberReport: protocol.MemberReport{
+		Query: 1, Epoch: inst.Epoch, Object: 3, Pos: geo.Pt(520, 501), At: 1,
+	}}
+	if avg := testing.AllocsPerRun(200, func() {
+		srv.HandleUplink(3, msg)
+	}); avg != 0 {
+		t.Errorf("MoveReport path allocates %.1f/op with tracing off, want 0", avg)
+	}
+}
+
 // BenchmarkServerEnterExit measures a membership churn cycle.
 func BenchmarkServerEnterExit(b *testing.B) {
 	srv, side, now := benchServer(b)

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
 
 	"dmknn/internal/metrics"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/sim"
 	"dmknn/internal/simnet"
 	"dmknn/internal/workload"
@@ -91,6 +93,12 @@ func runChaos(t *testing.T, c chaosCase, seed int64) {
 	cfg.NumQueries = 4
 	cfg.LatencyTicks = 0 // exactness is only defined under same-tick delivery
 	cfg.DisableAudit = true
+
+	// Flight recorder: a failed soak dumps the protocol event history
+	// that led to the divergence instead of a bare assertion message.
+	rec := obs.NewRecorder(0)
+	cfg.Trace = rec
+	obs.DumpOnFailure(t, rec)
 
 	pc := chaosProto()
 	m := mustDKNN(t, pc)
@@ -179,6 +187,79 @@ func TestChaosSoakMatrix(t *testing.T) {
 				runChaos(t, c, seed)
 			})
 		}
+	}
+}
+
+// failingTB pretends its test already failed, so DumpOnFailure's cleanup
+// path can be driven and its output inspected.
+type failingTB struct {
+	cleanups []func()
+	logs     []string
+}
+
+func (f *failingTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *failingTB) Failed() bool      { return true }
+func (f *failingTB) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+func (f *failingTB) finish() {
+	for _, fn := range f.cleanups {
+		fn()
+	}
+}
+
+// The flight recorder must demonstrably produce a useful dump when a
+// chaos test fails: this drives a lossy run with the recorder armed
+// through DumpOnFailure on a TB that reports failure, then inspects the
+// dumped trace for the events a divergence post-mortem needs — the drops
+// that caused the desync and the resync machinery reacting to it.
+func TestChaosFailureDumpsFlightRecorder(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	ft := &failingTB{}
+	obs.DumpOnFailure(ft, rec)
+
+	cfg := workload.Quick()
+	cfg.Seed = 7
+	cfg.NumObjects = 300
+	cfg.NumQueries = 4
+	cfg.LatencyTicks = 0
+	cfg.DisableAudit = true
+	cfg.Trace = rec
+	m := mustDKNN(t, chaosProto())
+	eng, err := sim.NewEngine(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := eng.Env()
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(10) // clean establishment
+	burst := simnet.BurstLoss(0.30, 4)
+	env.Net.SetFaults(simnet.FaultConfig{UplinkGE: burst, DownlinkGE: burst, BroadcastGE: burst})
+	step(60) // loss long enough to desync answer streams and trigger resyncs
+
+	ft.finish() // the "test" ends failed: the cleanup must dump the trace
+	if len(ft.logs) == 0 {
+		t.Fatal("DumpOnFailure logged nothing on a failed test")
+	}
+	dump := strings.Join(ft.logs, "\n")
+	for _, want := range []string{
+		"flight recorder:",
+		"net-drop",         // the induced fault is visible
+		"resync-requested", // the client noticed the desync
+		"answer-delta",     // the delta stream the loss tore
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump lacks %q", want)
+		}
+	}
+	if rec.Count(obs.EvResyncRequested) == 0 {
+		t.Error("loss phase triggered no resync — the induced failure path did not run")
 	}
 }
 

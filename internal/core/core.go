@@ -178,6 +178,7 @@ func (m *Method) Setup(env *sim.Env) error {
 		MaxObjectSpeed: env.MaxObjectSpeed,
 		MaxQuerySpeed:  env.MaxQuerySpeed,
 		LatencyTicks:   env.LatencyTicks,
+		Trace:          env.Trace,
 	})
 	if err != nil {
 		return err
@@ -219,6 +220,7 @@ func (m *Method) buildObjectAgent(idx int) (*ObjectAgent, error) {
 		Pos:          func() geo.Point { return env.Objects[idx].Pos },
 		DT:           env.DT,
 		LatencyTicks: env.LatencyTicks,
+		Trace:        env.Trace,
 	})
 }
 
@@ -233,6 +235,7 @@ func (m *Method) buildQueryAgent(idx int) (*QueryAgent, error) {
 			Pos:          func() geo.Point { return env.Queries[idx].State.Pos },
 			DT:           env.DT,
 			LatencyTicks: env.LatencyTicks,
+			Trace:        env.Trace,
 		},
 		Vel: func() geo.Vector { return env.Queries[idx].State.Vel },
 	})

@@ -9,6 +9,7 @@ import (
 	"dmknn/internal/geo"
 	"dmknn/internal/knn"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/protocol"
 	"dmknn/internal/transport"
 )
@@ -30,6 +31,10 @@ type ServerDeps struct {
 	// LatencyTicks is the known one-way delivery delay bound (0 for an
 	// in-process medium); probe deadlines are scheduled from it.
 	LatencyTicks int
+	// Trace, when non-nil, receives a lifecycle event at every protocol
+	// transition (register, probe, install, answer, resync). nil
+	// disables tracing at the cost of one branch per site.
+	Trace obs.Sink
 }
 
 // Server is the DKNN server: per registered query it runs the probe →
@@ -142,6 +147,14 @@ func (s *Server) QueryCount() int {
 }
 
 func (s *Server) track(start time.Time) { s.busy += time.Since(start) }
+
+// emit marks the node/direction fields unset and records e. Callers
+// guard with s.deps.Trace != nil so the disabled path stays a single
+// branch with no event construction.
+func (s *Server) emit(e obs.Event) {
+	e.Node, e.Dir = -1, -1
+	s.deps.Trace.Record(e)
+}
 
 // HandleUplink implements transport.ServerHandler.
 func (s *Server) HandleUplink(from model.ObjectID, msg protocol.Message) {
@@ -317,6 +330,14 @@ func (s *Server) register(v protocol.QueryRegister, from model.ObjectID) {
 	// of re-sorting the whole slice on every registration.
 	i, _ := slices.BinarySearch(s.order, v.Query)
 	s.order = slices.Insert(s.order, i, v.Query)
+	if s.deps.Trace != nil {
+		v := float64(mon.k)
+		if mon.rng > 0 {
+			v = mon.rng
+		}
+		s.emit(obs.Event{At: s.deps.Now(), Type: obs.EvQueryRegistered,
+			Query: mon.query, Object: from, Value: v})
+	}
 }
 
 func (s *Server) deregister(q model.QueryID) {
@@ -330,6 +351,9 @@ func (s *Server) deregister(q model.QueryID) {
 	delete(s.monitors, q)
 	if i, found := slices.BinarySearch(s.order, q); found {
 		s.order = slices.Delete(s.order, i, i+1)
+	}
+	if s.deps.Trace != nil {
+		s.emit(obs.Event{At: s.deps.Now(), Type: obs.EvQueryDeregistered, Query: q})
 	}
 }
 
@@ -481,6 +505,10 @@ func (s *Server) refreshInstall(mon *monitor, now model.Tick) {
 		Radius:       radius,
 		At:           now,
 	})
+	if s.deps.Trace != nil {
+		s.emit(obs.Event{At: now, Type: obs.EvInstalled, Query: mon.query,
+			Seq: mon.epoch, Value: radius})
+	}
 	s.refreshAnswer(mon, now)
 }
 
@@ -536,6 +564,10 @@ func (s *Server) startProbe(mon *monitor, now model.Tick) {
 		Region: geo.Circle{Center: center, R: radius},
 		At:     now,
 	})
+	if s.deps.Trace != nil {
+		s.emit(obs.Event{At: now, Type: obs.EvProbe, Query: mon.query,
+			Seq: mon.probeSeq, Value: radius})
+	}
 }
 
 // Finalize completes probe rounds whose replies are in: either expand the
@@ -624,6 +656,10 @@ func (s *Server) expandProbe(mon *monitor, now model.Tick, radius float64) {
 		Region: geo.Circle{Center: center, R: radius},
 		At:     now,
 	})
+	if s.deps.Trace != nil {
+		s.emit(obs.Event{At: now, Type: obs.EvProbe, Query: mon.query,
+			Seq: mon.probeSeq, Value: radius})
+	}
 }
 
 // install commits a probe result: rebuild the candidate and inside sets
@@ -672,6 +708,10 @@ func (s *Server) install(mon *monitor, now model.Tick, center geo.Point, rk, rad
 		Radius:       radius,
 		At:           now,
 	})
+	if s.deps.Trace != nil {
+		s.emit(obs.Event{At: now, Type: obs.EvInstalled, Query: mon.query,
+			Seq: mon.epoch, Value: radius})
+	}
 	if mon.resyncProbe {
 		// A periodic resync probe exists to heal lost-message divergence;
 		// the focal client gets a full answer even if membership is
@@ -743,6 +783,10 @@ func (s *Server) sendFullAnswer(mon *monitor, acc []model.Neighbor, now model.Ti
 		Query: mon.query, Seq: mon.answerSeq, At: now,
 		QPos: mon.qEst(now, s.deps.DT), Neighbors: ns,
 	})
+	if s.deps.Trace != nil {
+		s.emit(obs.Event{At: now, Type: obs.EvAnswerFull, Query: mon.query,
+			Seq: mon.answerSeq, Value: float64(len(ns))})
+	}
 }
 
 // refreshAnswer recomputes the maintained answer and downlinks an answer
@@ -803,6 +847,10 @@ func (s *Server) refreshAnswer(mon *monitor, now model.Tick) {
 		s.deps.Side.Downlink(mon.addr, protocol.AnswerDelta{
 			Query: mon.query, Seq: mon.answerSeq, At: now, Added: outAdded, Removed: outRemoved,
 		})
+		if s.deps.Trace != nil {
+			s.emit(obs.Event{At: now, Type: obs.EvAnswerDelta, Query: mon.query,
+				Seq: mon.answerSeq, Value: float64(len(outAdded) + len(outRemoved))})
+		}
 		return
 	}
 	s.sendFullAnswer(mon, acc, now)

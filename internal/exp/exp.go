@@ -20,6 +20,7 @@ import (
 	"dmknn/internal/baseline"
 	"dmknn/internal/cluster"
 	"dmknn/internal/core"
+	"dmknn/internal/metrics"
 	"dmknn/internal/shard"
 	"dmknn/internal/sim"
 	"dmknn/internal/simnet"
@@ -84,7 +85,36 @@ var (
 	MetricHandoff = Metric{"handoffs", func(r *sim.Result) float64 {
 		return r.Extra["object_handoffs"] + r.Extra["query_handoffs"]
 	}}
+	// The staleness and report-gap metrics read the observability
+	// histograms a run collects when its config sets Observe; they are
+	// zero when observation is off. Quantiles come from fixed histogram
+	// bucket bounds, so the rendered tables stay deterministic.
+	MetricStaleP50  = Metric{"stale p50", histQuantile(staleHist, 0.50)}
+	MetricStaleP90  = Metric{"stale p90", histQuantile(staleHist, 0.90)}
+	MetricStaleP99  = Metric{"stale p99", histQuantile(staleHist, 0.99)}
+	MetricStaleMean = Metric{"stale mean", func(r *sim.Result) float64 {
+		if r.Staleness == nil {
+			return 0
+		}
+		return r.Staleness.Mean()
+	}}
+	MetricGapP90 = Metric{"report gap p90", histQuantile(gapHist, 0.90)}
 )
+
+func staleHist(r *sim.Result) *metrics.Histogram { return r.Staleness }
+func gapHist(r *sim.Result) *metrics.Histogram   { return r.ReportGaps }
+
+// histQuantile builds a metric function reading quantile p of one of a
+// result's observability histograms.
+func histQuantile(get func(*sim.Result) *metrics.Histogram, p float64) func(*sim.Result) float64 {
+	return func(r *sim.Result) float64 {
+		h := get(r)
+		if h == nil {
+			return 0
+		}
+		return h.Quantile(p)
+	}
+}
 
 // Point is one x-axis value of a sweep: a label and the fully built
 // simulation configuration for it.
@@ -370,8 +400,8 @@ type Profile struct {
 	// LargeNs are the fig19 large-population points. They run audit-free
 	// with a short horizon, so they can reach populations (100k+) far
 	// beyond what the audited sweeps afford.
-	LargeNs []int
-	Ks      []int
+	LargeNs    []int
+	Ks         []int
 	ObjSpeeds  []float64
 	QrySpeeds  []float64
 	Qs         []int
@@ -477,6 +507,7 @@ func Suite(p Profile) []*Experiment {
 		p.Fig18BurstLoss(),
 		p.Fig19LargeScale(),
 		p.Fig20ClusterScaling(),
+		p.Fig21Staleness(),
 		p.Table3Accuracy(),
 		p.Table4Mobility(),
 	}
@@ -798,6 +829,39 @@ func (p Profile) Fig20ClusterScaling() *Experiment {
 	}
 	for _, n := range p.Ns {
 		e.Points = append(e.Points, Point{fmt.Sprint(n), workload.WithObjects(p.Base, n)})
+	}
+	return e
+}
+
+// Fig21Staleness: the client-observed answer staleness distribution as
+// message loss grows — the observability layer's histograms turned into
+// a sweep. Every measured tick samples now − answer.At per query (how
+// old the answer the user currently sees is), and the uplink
+// inter-report gap histogram is fed from the trace stream; the reported
+// quantiles are histogram bucket bounds over integer tick samples, so
+// the table is deterministic. The recall column (fig17) says how often
+// the answer is right; this one says how long it takes to become right
+// again after loss knocks it stale. DKNN runs the lossy-deployment
+// configuration. Single-server only: under loss the federation's
+// parallel node ticks enqueue sends in scheduler order, which permutes
+// the loss RNG draws — a lossy federation run is not reproducible, so
+// it has no place in a rendered table.
+func (p Profile) Fig21Staleness() *Experiment {
+	proto := p.Proto
+	proto.ResyncTicks = 3 * proto.HorizonTicks
+	e := &Experiment{
+		ID: "fig21", Title: "Answer staleness and report-gap distributions vs message loss",
+		XLabel:  "loss",
+		Methods: []MethodSpec{DKNN(proto)},
+		Metrics: []Metric{MetricStaleP50, MetricStaleP90, MetricStaleP99, MetricStaleMean, MetricGapP90},
+	}
+	for _, loss := range p.Losses {
+		cfg := p.Base
+		cfg.UplinkLoss = loss
+		cfg.DownlinkLoss = loss
+		cfg.BroadcastLoss = loss
+		cfg.Observe = true
+		e.Points = append(e.Points, Point{fmt.Sprintf("%.0f%%", loss*100), cfg})
 	}
 	return e
 }

@@ -34,8 +34,8 @@ func tiny() Profile {
 
 func TestSuiteStructure(t *testing.T) {
 	suite := Suite(tiny())
-	if len(suite) != 18 {
-		t.Fatalf("suite has %d experiments, want 18", len(suite))
+	if len(suite) != 19 {
+		t.Fatalf("suite has %d experiments, want 19", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, e := range suite {
@@ -55,7 +55,7 @@ func TestSuiteStructure(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table3", "table4"} {
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table3", "table4"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}
@@ -113,6 +113,46 @@ func TestFig19RunAndShape(t *testing.T) {
 		if v <= 0 {
 			t.Errorf("row %d: DKNN uplink/tick = %v, want > 0", i, v)
 		}
+	}
+}
+
+// Fig21 turns the observability histograms into a sweep: every point
+// runs with Observe set, so the staleness columns must be populated
+// (zero-loss staleness is bounded by the protocol, not absent) and the
+// rendered table must be deterministic across repeat runs.
+func TestFig21RunShapeAndDeterminism(t *testing.T) {
+	p := tiny()
+	e := p.Fig21Staleness()
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(p.Losses) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(p.Losses))
+	}
+	for _, pt := range e.Points {
+		if !pt.Config.Observe {
+			t.Fatalf("point %q does not observe", pt.Label)
+		}
+	}
+	gap, ok := tbl.Column("DKNN report gap p90")
+	if !ok {
+		t.Fatalf("no report-gap column in %v", tbl.Columns)
+	}
+	for i, v := range gap {
+		if v <= 0 {
+			t.Errorf("row %d: report gap p90 = %v, want > 0", i, v)
+		}
+	}
+	if _, ok := tbl.Column("DKNN stale p99"); !ok {
+		t.Fatalf("no staleness column in %v", tbl.Columns)
+	}
+	again, err := p.Fig21Staleness().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.CSV() != again.CSV() {
+		t.Errorf("fig21 not deterministic:\n%s\n---\n%s", tbl.CSV(), again.CSV())
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"dmknn/internal/obs"
 	"dmknn/internal/workload"
 )
 
@@ -78,6 +79,45 @@ func TestGoldenTables(t *testing.T) {
 		}
 		if got != string(want) {
 			t.Errorf("%s: table differs from golden\n--- got\n%s\n--- want\n%s", e.ID, got, want)
+		}
+	}
+}
+
+// The observability layer must be a pure tap: attaching a trace sink and
+// turning on histogram collection draws no randomness and reorders no
+// protocol step, so every golden table stays byte-identical with tracing
+// enabled. This is the tracing-correctness contract — a tracer that
+// perturbs the run it observes is worse than none.
+func TestGoldenTablesUnchangedByTracing(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens being rewritten")
+	}
+	p := goldenProfile()
+	rec := obs.NewRecorder(0)
+	for _, e := range goldenExperiments(p) {
+		for i := range e.Points {
+			e.Points[i].Config.Trace = rec
+			e.Points[i].Config.Observe = true
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		got := tbl.Render() + "\n" + tbl.CSV()
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", e.ID+".golden"))
+		if err != nil {
+			t.Fatalf("%s: missing golden: %v", e.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: tracing perturbed the table\n--- got\n%s\n--- want\n%s", e.ID, got, want)
+		}
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no events — tracing was not actually wired")
+	}
+	for _, ev := range []obs.EventType{obs.EvProbe, obs.EvInstalled, obs.EvReportSent, obs.EvNetDeliver} {
+		if rec.Count(ev) == 0 {
+			t.Errorf("no %s events recorded", ev)
 		}
 	}
 }

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0, 1, 1.5, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	_, counts := h.Buckets()
+	// (-inf,1]=2  (1,2]=2  (2,4]=1  (4,8]=1  overflow=2
+	want := []uint64{2, 2, 1, 1, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2 (upper bound of the 4th sample's bucket)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v, want first bucket bound 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %v, want observed max 100", got)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %v, want 100", h.Max())
+	}
+	if got := h.Mean(); got != (0+1+1.5+2+3+5+9+100)/8 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(TickBuckets()...)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramMergeMatchesSingleCollector(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	whole := NewHistogram(TickBuckets()...)
+	parts := []*Histogram{
+		NewHistogram(TickBuckets()...),
+		NewHistogram(TickBuckets()...),
+		NewHistogram(TickBuckets()...),
+	}
+	for i := 0; i < 3000; i++ {
+		v := rng.Float64() * 300
+		whole.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	merged := NewHistogram(TickBuckets()...)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Max() != whole.Max() {
+		t.Fatalf("merge diverged: count %d/%d max %v/%v",
+			merged.Count(), whole.Count(), merged.Max(), whole.Max())
+	}
+	// Summation order differs between the split and whole collectors, so
+	// the float sums agree only up to rounding; determinism comes from
+	// merging in a fixed order, which reproduces the same rounding.
+	if diff := math.Abs(merged.Sum() - whole.Sum()); diff > 1e-6*whole.Sum() {
+		t.Fatalf("merge sum diverged: %v vs %v", merged.Sum(), whole.Sum())
+	}
+	_, mc := merged.Buckets()
+	_, wc := whole.Buckets()
+	for i := range mc {
+		if mc[i] != wc[i] {
+			t.Fatalf("bucket %d: merged %d, whole %d", i, mc[i], wc[i])
+		}
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if merged.Quantile(p) != whole.Quantile(p) {
+			t.Fatalf("q%v: merged %v, whole %v", p, merged.Quantile(p), whole.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(5)
+	h.Observe(50)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	h.Observe(2)
+	if h.Quantile(1) != 10 {
+		t.Fatalf("post-reset quantile = %v, want 10", h.Quantile(1))
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {3, 2}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge across layouts did not panic")
+		}
+	}()
+	NewHistogram(1, 2).Merge(NewHistogram(1, 2, 3))
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	h := NewHistogram(TickBuckets()...)
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(7) }); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -299,3 +299,148 @@ func (s *Series) Max() float64 {
 
 // Values returns the underlying samples (not a copy).
 func (s *Series) Values() []float64 { return s.values }
+
+// ---------------------------------------------------------------------------
+// Deterministic fixed-bucket histogram
+
+// Histogram counts samples into fixed buckets so distribution summaries
+// (quantiles, CDFs) stay byte-deterministic across runs and worker
+// counts: only integer bucket counts and one float sum accumulate, and
+// Merge in a fixed order reproduces the single-collector result exactly.
+// Bucket i covers (bounds[i-1], bounds[i]]; a final implicit overflow
+// bucket covers everything above the last bound.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // len(bounds)+1, last is overflow
+	total  uint64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// bounds. It panics on unsorted or empty bounds: bucket layouts are
+// fixed at construction so that merging histograms is well-defined.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// TickBuckets is the shared bound set for tick-valued distributions
+// (answer staleness, uplink inter-report gaps): fine steps near zero
+// where the protocol should live, coarsening geometrically out to the
+// resync horizon.
+func TickBuckets() []float64 {
+	return []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}
+}
+
+// LatencyBuckets is the shared bound set for per-tick server latency in
+// microseconds.
+func LatencyBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500,
+		1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	i, j := 0, len(h.bounds)
+	for i < j { // first bound >= v
+		m := (i + j) / 2
+		if h.bounds[m] < v {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest sample observed (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound on the p-quantile (0 <= p <= 1): the
+// upper bound of the bucket holding the p-th sample, or the observed
+// maximum for the overflow bucket. Bucket bounds rather than
+// interpolation keep the value exactly reproducible.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Buckets returns (bounds, counts) copies for rendering a CDF. The
+// counts slice has one extra trailing overflow entry.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	c := make([]uint64, len(h.counts))
+	copy(c, h.counts)
+	return b, c
+}
+
+// Merge folds o into h. Both must share the same bucket layout; like
+// Audit.Merge, merging private per-worker histograms in a fixed order
+// keeps the result deterministic.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("metrics: merging histograms with different bucket layouts")
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset clears every sample, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+}

@@ -1,0 +1,137 @@
+package netudp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// rawDatagram builds one uplink datagram by hand: id prefix + payload.
+func rawDatagram(id model.ObjectID, m protocol.Message) []byte {
+	buf := make([]byte, 4, 4+protocol.EncodedSize(m))
+	binary.LittleEndian.PutUint32(buf, uint32(id))
+	return protocol.Encode(buf, m)
+}
+
+// Satellite property test: the UDP uplink path under the medium's real
+// failure modes — reordering, drops, duplication, interleaved garbage.
+// Whatever permuted, thinned, polluted sequence arrives, the server must
+// deliver exactly the surviving well-formed datagrams (each intact, with
+// the right sender), meter them, and let nothing malformed through.
+func TestUplinkReorderDropDuplicateProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := startServer(t, time.Minute)
+			col := &collector{}
+			s.AttachHandler(col)
+
+			conn, err := net.Dial("udp", s.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+
+			// The valid population: distinct (sender, tick) pairs so every
+			// delivery is attributable to exactly one sent datagram.
+			const nValid = 48
+			type sent struct {
+				id  model.ObjectID
+				msg protocol.LocationReport
+			}
+			var population []sent
+			var wire [][]byte
+			for i := 0; i < nValid; i++ {
+				sd := sent{
+					id: model.ObjectID(1 + rng.Intn(8)),
+					msg: protocol.LocationReport{
+						Object: model.ObjectID(1 + rng.Intn(8)),
+						Pos:    geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+						At:     model.Tick(i), // unique per datagram
+					},
+				}
+				population = append(population, sd)
+				wire = append(wire, rawDatagram(sd.id, sd.msg))
+			}
+
+			// Thin (drop ~25%), duplicate (~15%), then shuffle: the arrival
+			// schedule a lossy reordering medium would produce.
+			type expect struct {
+				id model.ObjectID
+				at model.Tick
+			}
+			want := map[expect]int{}
+			var schedule [][]byte
+			for i, d := range wire {
+				if rng.Float64() < 0.25 {
+					continue // dropped in flight
+				}
+				n := 1
+				if rng.Float64() < 0.15 {
+					n = 2 // duplicated in flight
+				}
+				for j := 0; j < n; j++ {
+					schedule = append(schedule, d)
+				}
+				want[expect{population[i].id, population[i].msg.At}] += n
+			}
+			// Pollution: runts and garbled payloads the server must skip.
+			// The flip hits the kind byte — the one corruption the codec is
+			// guaranteed to detect (fixed-width fields have no checksum).
+			schedule = append(schedule, []byte{1, 2, 3})
+			garbled := rawDatagram(99, protocol.LocationReport{Object: 99, At: 999})
+			garbled[4] ^= 0xFF
+			schedule = append(schedule, garbled[:4+rng.Intn(3)], garbled)
+			rng.Shuffle(len(schedule), func(i, j int) {
+				schedule[i], schedule[j] = schedule[j], schedule[i]
+			})
+
+			wantTotal := 0
+			for _, n := range want {
+				wantTotal += n
+			}
+			for _, d := range schedule {
+				if _, err := conn.Write(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			waitFor(t, "all surviving datagrams", func() bool { return col.count() >= wantTotal })
+			// Let any straggler (or wrongly accepted garbage) surface.
+			time.Sleep(20 * time.Millisecond)
+
+			col.mu.Lock()
+			got := map[expect]int{}
+			for i, m := range col.msgs {
+				lr, ok := m.(protocol.LocationReport)
+				if !ok {
+					t.Fatalf("delivered %T, sent only LocationReports", m)
+				}
+				if lr.At == 999 {
+					t.Fatal("garbled datagram decoded and delivered")
+				}
+				got[expect{col.froms[i], lr.At}]++
+			}
+			col.mu.Unlock()
+			if len(got) != len(want) {
+				t.Fatalf("delivered %d distinct datagrams, want %d", len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("datagram %+v delivered %d times, want %d", k, got[k], n)
+				}
+			}
+			if c := s.Counters(); c.Delivered(metrics.Uplink) != uint64(wantTotal) {
+				t.Errorf("metered %d uplink deliveries, want %d", c.Delivered(metrics.Uplink), wantTotal)
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dmknn/internal/protocol"
+)
+
+func TestRecorderRingRetainsNewest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{At: 0, Type: EvProbe, Seq: uint32(i), Node: -1, Dir: -1})
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := uint32(7 + i); e.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d (oldest-first after wrap)", i, e.Seq, want)
+		}
+	}
+	if got := r.Count(EvProbe); got != 10 {
+		t.Fatalf("Count(EvProbe) = %d, want 10 (counts survive overwrite)", got)
+	}
+}
+
+func TestRecorderEventsBeforeWrap(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Type: EvQueryRegistered, Query: 3})
+	r.Record(Event{Type: EvAnswerFull, Query: 3, Seq: 1})
+	events := r.Events()
+	if len(events) != 2 || events[0].Type != EvQueryRegistered || events[1].Type != EvAnswerFull {
+		t.Fatalf("unexpected retained events: %v", events)
+	}
+}
+
+func TestRecorderRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(64)
+	e := Event{At: 5, Type: EvReportSent, Object: 9, Kind: protocol.KindMoveReport, Node: -1, Dir: -1}
+	// Warm the ring to capacity so the steady state (overwrite) is measured.
+	for i := 0; i < 64; i++ {
+		r.Record(e)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { r.Record(e) }); allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRecorderConcurrentRecord(t *testing.T) {
+	r := NewRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Type: EvNetDeliver, Node: int16(g), Dir: 0})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Total(); got != 4000 {
+		t.Fatalf("Total = %d, want 4000", got)
+	}
+	if got := len(r.Events()); got != 128 {
+		t.Fatalf("retained %d, want full ring of 128", got)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{At: 3, Type: EvProbe, Query: 7, Seq: 2, Value: 250, Node: -1, Dir: -1})
+	r.Record(Event{At: 4, Type: EvResyncRequested, Query: 7, Seq: 9, Node: 1, Dir: -1})
+	out := r.String()
+	for _, want := range []string{
+		"2 events recorded, last 2 retained",
+		"probe",
+		"resync-requested",
+		"t=3 probe q=7 seq=2 v=250.000",
+		"t=4 resync-requested node=1 q=7 seq=9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountsByName(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Type: EvAnswerDelta})
+	r.Record(Event{Type: EvAnswerDelta})
+	r.Record(Event{Type: EvNetDrop})
+	counts := r.Counts()
+	if counts["answer-delta"] != 2 || counts["net-drop"] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+	if _, ok := counts["probe"]; ok {
+		t.Fatal("Counts includes zero entry")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee of nils should be nil")
+	}
+	a, b := NewRecorder(4), NewRecorder(4)
+	if got := Tee(a, nil); got != Sink(a) {
+		t.Fatal("Tee with one live sink should return it unwrapped")
+	}
+	s := Tee(a, nil, b)
+	s.Record(Event{Type: EvInstalled})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("tee did not fan out: a=%d b=%d", a.Total(), b.Total())
+	}
+}
+
+// fakeTB records whether DumpOnFailure's cleanup logged.
+type fakeTB struct {
+	failed   bool
+	cleanups []func()
+	logged   []string
+}
+
+func (f *fakeTB) Cleanup(fn func())               { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Failed() bool                    { return f.failed }
+func (f *fakeTB) Logf(format string, args ...any) { f.logged = append(f.logged, format) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestDumpOnFailure(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Type: EvAnswerFull, Query: 1, Seq: 1})
+
+	pass := &fakeTB{}
+	DumpOnFailure(pass, r)
+	pass.runCleanups()
+	if len(pass.logged) != 0 {
+		t.Fatal("passed test should not dump")
+	}
+
+	fail := &fakeTB{failed: true}
+	DumpOnFailure(fail, r)
+	fail.runCleanups()
+	if len(fail.logged) != 1 {
+		t.Fatal("failed test should dump exactly once")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EvQueryRegistered.String() != "query-registered" {
+		t.Fatalf("got %q", EvQueryRegistered.String())
+	}
+	if got := EventType(200).String(); got != "event(200)" {
+		t.Fatalf("got %q", got)
+	}
+}

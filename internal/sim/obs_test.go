@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"dmknn/internal/model"
+	"dmknn/internal/obs"
+)
+
+// liveMapMethod is an ExtraReporter that hands out its LIVE counter map —
+// the laziest legal implementation. The engine must deep-copy its warmup
+// snapshot, or the baseline moves with the counters and every Extra
+// metric collapses to zero.
+type liveMapMethod struct {
+	nullMethod
+	counters map[string]float64
+}
+
+func (m *liveMapMethod) Name() string { return "live-map" }
+func (m *liveMapMethod) ServerTick(model.Tick) {
+	if m.counters == nil {
+		m.counters = map[string]float64{}
+	}
+	m.counters["ticks"]++
+}
+func (m *liveMapMethod) ExtraMetrics() map[string]float64 {
+	if m.counters == nil {
+		m.counters = map[string]float64{}
+	}
+	return m.counters // deliberately not a copy
+}
+
+// Satellite regression test: the warmup ExtraMetrics snapshot must be a
+// deep copy. Before the fix, a method returning its live map (or a
+// mid-run fault reconfiguration mutating a shared one) aliased the
+// baseline, so end-minus-base reported zero for every counter.
+func TestExtraReporterLiveMapSnapshot(t *testing.T) {
+	cfg := testConfig()
+	cfg.Warmup = 5
+	cfg.Ticks = 10
+	m := &liveMapMethod{}
+	res, err := Run(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Extra["ticks"]; got != float64(cfg.Ticks) {
+		t.Fatalf("Extra[ticks] = %v, want %d (measured-phase increase; 0 means the baseline aliased the live map)",
+			got, cfg.Ticks)
+	}
+}
+
+// tracingMethod emits one uplink report per tick for a fixed object and
+// answers every query with a fixed two-tick lag, so the engine-side
+// histogram collectors have exactly predictable inputs.
+type tracingMethod struct {
+	nullMethod
+	lastTick model.Tick
+}
+
+func (m *tracingMethod) Name() string { return "tracing" }
+func (m *tracingMethod) ClientTick(now model.Tick) {
+	m.lastTick = now
+	if m.env.Trace != nil {
+		m.env.Trace.Record(obs.Event{At: now, Type: obs.EvReportSent, Node: -1, Dir: -1, Object: 1})
+	}
+}
+func (m *tracingMethod) Answer(q model.QueryID) model.Answer {
+	at := m.lastTick - 2
+	if at < 0 {
+		at = 0
+	}
+	return model.Answer{Query: q, At: at}
+}
+
+// The engine's Observe mode must collect all three histograms with the
+// documented semantics: staleness = now − answer.At per query per
+// measured tick, report gaps = inter-report tick deltas for the measured
+// phase only, and one server-latency sample per measured tick.
+func TestObserveHistograms(t *testing.T) {
+	cfg := testConfig()
+	cfg.Warmup = 5
+	cfg.Ticks = 10
+	cfg.DisableAudit = true
+	cfg.Observe = true
+	res, err := Run(cfg, &tracingMethod{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Staleness == nil || res.ReportGaps == nil || res.ServerLatencyUS == nil {
+		t.Fatal("observed run returned nil histograms")
+	}
+	wantStale := uint64(cfg.Ticks * cfg.NumQueries)
+	if got := res.Staleness.Count(); got != wantStale {
+		t.Errorf("staleness samples = %d, want %d", got, wantStale)
+	}
+	if p100 := res.Staleness.Quantile(1.0); p100 != 2 {
+		t.Errorf("staleness p100 = %v, want 2 (fixed two-tick answer lag)", p100)
+	}
+	// One report per tick → every measured inter-report gap is exactly 1,
+	// and only measured-phase gaps are counted.
+	if got := res.ReportGaps.Count(); got != uint64(cfg.Ticks) {
+		t.Errorf("gap samples = %d, want %d", got, cfg.Ticks)
+	}
+	if p100 := res.ReportGaps.Quantile(1.0); p100 != 1 {
+		t.Errorf("gap p100 = %v, want 1", p100)
+	}
+	if got := res.ServerLatencyUS.Count(); got != uint64(cfg.Ticks) {
+		t.Errorf("server latency samples = %d, want %d", got, cfg.Ticks)
+	}
+}
+
+// Observe off: the histograms stay nil and no trace sink is synthesized.
+func TestObserveOffNilHistograms(t *testing.T) {
+	cfg := testConfig()
+	cfg.DisableAudit = true
+	m := &tracingMethod{}
+	res, err := Run(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Staleness != nil || res.ReportGaps != nil || res.ServerLatencyUS != nil {
+		t.Error("unobserved run returned histograms")
+	}
+	if m.env.Trace != nil {
+		t.Error("engine synthesized a trace sink with tracing and observation off")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"dmknn/internal/metrics"
 	"dmknn/internal/mobility"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/simnet"
 )
 
@@ -101,6 +102,11 @@ type Env struct {
 	MaxQuerySpeed  float64
 	Objects        []model.ObjectState
 	Queries        []QueryRuntime
+	// Trace, when non-nil, is the event sink methods wire into their
+	// protocol state machines (and the network, via Net.SetTrace). The
+	// engine composes it from Config.Trace plus its own histogram
+	// observer when Config.Observe is set.
+	Trace obs.Sink
 }
 
 // ObjectByID returns the live state of a data object. Object ids are
@@ -159,6 +165,16 @@ type Config struct {
 	// internal/mobility), and the protocol rounds are serial by the
 	// slotted-time semantics.
 	AuditWorkers int
+	// Trace, when non-nil, receives every protocol lifecycle event the
+	// method and network emit (see internal/obs). Chaos tests arm a
+	// flight recorder here. Tracing must not change behavior: the event
+	// stream is observation-only and draws no randomness.
+	Trace obs.Sink
+	// Observe enables the observability histograms in Result (answer
+	// staleness, uplink inter-report gaps, per-tick server latency).
+	// Off by default: the extra per-tick answer sampling is not free,
+	// and golden experiments must not pay for it.
+	Observe bool
 }
 
 // Validate reports a descriptive error for unusable configurations.
@@ -204,6 +220,15 @@ type Result struct {
 	// Extra holds the measured-phase increase of the method's
 	// ExtraReporter counters; nil when the method reports none.
 	Extra map[string]float64
+	// Observability histograms, nil unless Config.Observe was set.
+	// Staleness samples the age of every query's client-visible answer
+	// (now − answer tick) once per measured tick; ReportGaps samples the
+	// gap in ticks between consecutive uplink reports of one object;
+	// ServerLatencyUS samples the server processing time per measured
+	// tick in microseconds.
+	Staleness       *metrics.Histogram
+	ReportGaps      *metrics.Histogram
+	ServerLatencyUS *metrics.Histogram
 	// Elapsed is the wall-clock duration of the measured phase.
 	Elapsed time.Duration
 }
@@ -241,6 +266,18 @@ type Engine struct {
 	// nothing.
 	auditBufs   [][]model.Neighbor
 	chunkAudits []metrics.Audit
+
+	// Observability collectors (Config.Observe). The gap observer is fed
+	// from the trace event stream, which federation nodes may emit from
+	// parallel goroutines, so it carries its own lock; all histogram
+	// samples are integer-valued ticks, keeping the accumulated sums
+	// independent of arrival order.
+	stale     *metrics.Histogram
+	gaps      *metrics.Histogram
+	servLatUS *metrics.Histogram
+	gapMu     sync.Mutex
+	gapLast   map[model.ObjectID]model.Tick
+	observing bool
 }
 
 // NewEngine builds the environment for cfg and calls method.Setup.
@@ -328,6 +365,20 @@ func NewEngine(cfg Config, method Method) (*Engine, error) {
 		}
 	}
 
+	// Compose the trace sink the method sees: the caller's sink (flight
+	// recorder, CLI trace) plus the engine's own histogram observer when
+	// Observe is on.
+	sink := cfg.Trace
+	if cfg.Observe {
+		e.stale = metrics.NewHistogram(metrics.TickBuckets()...)
+		e.gaps = metrics.NewHistogram(metrics.TickBuckets()...)
+		e.servLatUS = metrics.NewHistogram(metrics.LatencyBuckets()...)
+		e.gapLast = make(map[model.ObjectID]model.Tick)
+		sink = obs.Tee(sink, obs.SinkFunc(e.observeEvent))
+	}
+	env.Trace = sink
+	net.SetTrace(sink)
+
 	if err := method.Setup(env); err != nil {
 		return nil, fmt.Errorf("sim: %s setup: %w", method.Name(), err)
 	}
@@ -352,7 +403,17 @@ func (e *Engine) Run() (*Result, error) {
 			measuredStart = time.Now()
 			baseTraffic = e.net.Counters().Snapshot()
 			if extra != nil {
-				baseExtra = extra.ExtraMetrics()
+				// Deep-copy the snapshot: the ExtraReporter contract does
+				// not promise a fresh map, and a method handing out its
+				// live counters (or a mid-run SetFaults swap mutating
+				// them) must not move the warmup baseline under us.
+				baseExtra = make(map[string]float64)
+				for k, v := range extra.ExtraMetrics() {
+					baseExtra[k] = v
+				}
+			}
+			if e.cfg.Observe {
+				e.setObserving(true)
 			}
 		}
 		prevTraffic := e.net.Counters().Snapshot()
@@ -367,7 +428,19 @@ func (e *Engine) Run() (*Result, error) {
 		res.Uplink.Add(float64(d.Sent(metrics.Uplink)))
 		res.Downlink.Add(float64(d.Sent(metrics.Downlink)))
 		res.Broadcast.Add(float64(d.Sent(metrics.Broadcast)))
-		res.ServerUS.Add(float64((e.method.ServerTime() - prevServer).Microseconds()))
+		tickUS := float64((e.method.ServerTime() - prevServer).Microseconds())
+		res.ServerUS.Add(tickUS)
+		if e.cfg.Observe {
+			e.servLatUS.Observe(tickUS)
+			// Answer staleness: the age of what each query's user sees
+			// right now. A query that has no answer yet (At == 0 before
+			// the first update) is not a staleness sample.
+			for i := range e.env.Queries {
+				if ans := e.method.Answer(e.env.Queries[i].Spec.ID); ans.At > 0 {
+					e.stale.Observe(float64(e.now - ans.At))
+				}
+			}
+		}
 		if !e.cfg.DisableAudit {
 			e.audit(res)
 		}
@@ -381,7 +454,39 @@ func (e *Engine) Run() (*Result, error) {
 			res.Extra[k] = v - baseExtra[k]
 		}
 	}
+	if e.cfg.Observe {
+		e.setObserving(false)
+		res.Staleness = e.stale
+		res.ReportGaps = e.gaps
+		res.ServerLatencyUS = e.servLatUS
+	}
 	return res, nil
+}
+
+// setObserving flips the measured-phase gate of the trace-fed
+// collectors (taken between ticks; the lock pairs it with observeEvent,
+// which may run on method goroutines mid-tick).
+func (e *Engine) setObserving(on bool) {
+	e.gapMu.Lock()
+	e.observing = on
+	e.gapMu.Unlock()
+}
+
+// observeEvent feeds the inter-report gap histogram from the trace
+// stream: every uplink report an object sends (event reports and
+// boundary crossings alike) closes the gap opened by its previous one.
+func (e *Engine) observeEvent(ev obs.Event) {
+	if ev.Type != obs.EvReportSent && ev.Type != obs.EvBoundaryCrossed {
+		return
+	}
+	e.gapMu.Lock()
+	if e.observing {
+		if prev, ok := e.gapLast[ev.Object]; ok {
+			e.gaps.Observe(float64(ev.At - prev))
+		}
+	}
+	e.gapLast[ev.Object] = ev.At
+	e.gapMu.Unlock()
 }
 
 // Step advances the simulation by one tick without collecting series or

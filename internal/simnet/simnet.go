@@ -44,6 +44,7 @@ import (
 	"dmknn/internal/grid"
 	"dmknn/internal/metrics"
 	"dmknn/internal/model"
+	"dmknn/internal/obs"
 	"dmknn/internal/protocol"
 	"dmknn/internal/transport"
 )
@@ -228,6 +229,12 @@ type Network struct {
 	// side with the indexed path; both consume the loss generators
 	// identically.
 	linearFanout bool
+
+	// trace, when non-nil, receives a net-level event per send, per
+	// delivery, and per drop. Tracing draws no randomness and never
+	// touches the loss generators, so an armed trace cannot perturb a
+	// seeded run.
+	trace obs.Sink
 }
 
 // New returns a network with the given configuration.
@@ -295,6 +302,14 @@ func (n *Network) Duplicated(dir metrics.Direction) uint64 { return n.dups[dir] 
 
 // Counters returns the live traffic counters.
 func (n *Network) Counters() *metrics.Counters { return &n.counters }
+
+// SetTrace installs (or, with nil, removes) the net-level event sink.
+func (n *Network) SetTrace(s obs.Sink) { n.trace = s }
+
+// emit records one net-level event; callers guard with n.trace != nil.
+func (n *Network) emit(t obs.EventType, dir metrics.Direction, id model.ObjectID, k protocol.Kind) {
+	n.trace.Record(obs.Event{At: n.now, Type: t, Node: -1, Dir: int8(dir), Object: id, Kind: k})
+}
 
 // AttachServer installs the server-side uplink handler.
 func (n *Network) AttachServer(h transport.ServerHandler) { n.server = h }
@@ -370,6 +385,9 @@ type serverSide struct {
 func (s serverSide) Downlink(to model.ObjectID, m protocol.Message) {
 	n := s.n
 	n.counters.RecordSend(metrics.Downlink, m.Kind(), protocol.EncodedSize(m))
+	if n.trace != nil {
+		n.emit(obs.EvNetSend, metrics.Downlink, to, m.Kind())
+	}
 	n.enqueue(queued{dir: metrics.Downlink, to: to, msg: m})
 }
 
@@ -390,6 +408,9 @@ func (s serverSide) Broadcast(region geo.Circle, m protocol.Message) {
 	if cells == 0 {
 		return
 	}
+	if n.trace != nil {
+		n.emit(obs.EvNetSend, metrics.Broadcast, 0, m.Kind())
+	}
 	n.enqueue(queued{dir: metrics.Broadcast, region: region, filter: s.filter, msg: m})
 }
 
@@ -401,6 +422,9 @@ type clientSide struct {
 func (c clientSide) Uplink(m protocol.Message) {
 	n := c.n
 	n.counters.RecordSend(metrics.Uplink, m.Kind(), protocol.EncodedSize(m))
+	if n.trace != nil {
+		n.emit(obs.EvNetSend, metrics.Uplink, c.id, m.Kind())
+	}
 	n.enqueue(queued{dir: metrics.Uplink, from: c.id, msg: m})
 }
 
@@ -528,18 +552,30 @@ func (n *Network) deliver(q queued) int {
 	case metrics.Uplink:
 		if n.server == nil || n.down[q.from] || n.lose(n.cfg.UplinkLoss) || n.geLose(metrics.Uplink) {
 			n.counters.RecordDrop(metrics.Uplink)
+			if n.trace != nil {
+				n.emit(obs.EvNetDrop, metrics.Uplink, q.from, q.msg.Kind())
+			}
 			return 0
 		}
 		n.counters.RecordDeliver(metrics.Uplink)
+		if n.trace != nil {
+			n.emit(obs.EvNetDeliver, metrics.Uplink, q.from, q.msg.Kind())
+		}
 		n.server.HandleUplink(q.from, q.msg)
 		return 1
 	case metrics.Downlink:
 		h, ok := n.clients[q.to]
 		if !ok || n.down[q.to] || n.lose(n.cfg.DownlinkLoss) || n.geLose(metrics.Downlink) {
 			n.counters.RecordDrop(metrics.Downlink)
+			if n.trace != nil {
+				n.emit(obs.EvNetDrop, metrics.Downlink, q.to, q.msg.Kind())
+			}
 			return 0
 		}
 		n.counters.RecordDeliver(metrics.Downlink)
+		if n.trace != nil {
+			n.emit(obs.EvNetDeliver, metrics.Downlink, q.to, q.msg.Kind())
+		}
 		h.HandleServerMessage(q.msg)
 		return 1
 	case metrics.Broadcast:
@@ -581,13 +617,22 @@ func (n *Network) deliverBroadcast(q queued) int {
 		h, ok := n.clients[id]
 		if !ok {
 			n.counters.RecordDrop(metrics.Broadcast)
+			if n.trace != nil {
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+			}
 			continue
 		}
 		if n.down[id] || n.lose(n.cfg.BroadcastLoss) || n.geLose(metrics.Broadcast) {
 			n.counters.RecordDrop(metrics.Broadcast)
+			if n.trace != nil {
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+			}
 			continue
 		}
 		n.counters.RecordDeliver(metrics.Broadcast)
+		if n.trace != nil {
+			n.emit(obs.EvNetDeliver, metrics.Broadcast, id, q.msg.Kind())
+		}
 		h.HandleServerMessage(q.msg)
 		delivered++
 	}
@@ -616,13 +661,22 @@ func (n *Network) deliverBroadcastLinear(q queued) int {
 		h, ok := n.clients[id]
 		if !ok {
 			n.counters.RecordDrop(metrics.Broadcast)
+			if n.trace != nil {
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+			}
 			continue
 		}
 		if n.down[id] || n.lose(n.cfg.BroadcastLoss) || n.geLose(metrics.Broadcast) {
 			n.counters.RecordDrop(metrics.Broadcast)
+			if n.trace != nil {
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+			}
 			continue
 		}
 		n.counters.RecordDeliver(metrics.Broadcast)
+		if n.trace != nil {
+			n.emit(obs.EvNetDeliver, metrics.Broadcast, id, q.msg.Kind())
+		}
 		h.HandleServerMessage(q.msg)
 		delivered++
 	}
