@@ -49,25 +49,42 @@ import (
 	"strings"
 	"time"
 
+	"dmknn/internal/core"
 	"dmknn/internal/exp"
 	"dmknn/internal/obs"
 )
 
-// expTiming is one experiment's entry in the -json report.
+// expTiming is one experiment's entry in the -json report. Columns and
+// Rows carry the rendered table itself, so a checked-in report is a
+// complete record of the numbers, not just how long they took.
 type expTiming struct {
-	ID      string  `json:"id"`
-	Serial  bool    `json:"serial"`
-	Seconds float64 `json:"seconds"`
+	ID      string    `json:"id"`
+	Serial  bool      `json:"serial"`
+	Seconds float64   `json:"seconds"`
+	Columns []string  `json:"columns,omitempty"`
+	Rows    []jsonRow `json:"rows,omitempty"`
+}
+
+// jsonRow is one sweep point of an experiment table in the -json report.
+type jsonRow struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
 }
 
 // report is the -json output: enough to compare suite wall-clock across
-// worker counts and machines.
+// worker counts and machines, plus the hot-path allocation rate and the
+// profile's shard grid so scaling artifacts are self-describing.
 type report struct {
-	Profile         string      `json:"profile"`
-	Workers         int         `json:"workers"`
-	GoMaxProcs      int         `json:"gomaxprocs"`
-	NumCPU          int         `json:"num_cpu"`
-	Seeds           int         `json:"seeds"`
+	Profile    string `json:"profile"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Seeds      int    `json:"seeds"`
+	// Shards is the profile's shard-count grid (fig16/fig19 methods).
+	Shards []int `json:"shards,omitempty"`
+	// AllocsPerOp is the measured heap allocation rate of the server's
+	// move-report hot path with tracing off; the pinned value is 0.
+	AllocsPerOp     float64     `json:"allocs_per_op"`
 	Experiments     []expTiming `json:"experiments"`
 	ParallelSeconds float64     `json:"parallel_seconds"` // non-Serial experiments
 	SerialSeconds   float64     `json:"serial_seconds"`   // Serial experiments
@@ -149,7 +166,14 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Seeds:      *seeds,
+		Shards:     profile.Shards,
 	}
+	allocs, err := core.MoveReportAllocsPerOp(0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dknn-bench: alloc probe: %v\n", err)
+		os.Exit(1)
+	}
+	rep.AllocsPerOp = allocs
 
 	fmt.Printf("# dknn-bench profile=%s workers=%d\n\n", *profileName, *workers)
 	for _, e := range exp.Suite(profile) {
@@ -200,9 +224,14 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
-		rep.Experiments = append(rep.Experiments, expTiming{
+		timing := expTiming{
 			ID: e.ID, Serial: e.Serial, Seconds: elapsed.Seconds(),
-		})
+			Columns: table.Columns,
+		}
+		for _, r := range table.Rows {
+			timing.Rows = append(timing.Rows, jsonRow{Label: r.Label, Values: r.Values})
+		}
+		rep.Experiments = append(rep.Experiments, timing)
 		if e.Serial {
 			rep.SerialSeconds += elapsed.Seconds()
 		} else {

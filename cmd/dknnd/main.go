@@ -5,7 +5,7 @@
 //
 //	dknnd [-addr :7App7] [-world 10000] [-grid 64] [-tick 1s]
 //	      [-vobj 30] [-vqry 30] [-horizon 20] [-slack 10] [-theta 0]
-//	      [-http :8080] [-trace]
+//	      [-shards 4] [-batched] [-http :8080] [-trace]
 //
 // The daemon prints its listen address and, once a second, a one-line
 // status with connected clients and registered queries. Stop with
@@ -44,6 +44,8 @@ func main() {
 	horizon := flag.Int("horizon", 20, "monitor refresh horizon, ticks")
 	slack := flag.Int("slack", 10, "answer buffer size m")
 	theta := flag.Float64("theta", 0, "in-boundary movement threshold, meters")
+	shards := flag.Int("shards", 1, "parallel query shards (>1 enables interior sharding)")
+	batched := flag.Bool("batched", false, "batched ingest: queue uplinks per shard, drain at each tick")
 	quiet := flag.Bool("quiet", false, "suppress the periodic status line")
 	httpAddr := flag.String("http", "", "serve operational stats as JSON on this address (e.g. :8080)")
 	trace := flag.Bool("trace", false, "arm a protocol flight recorder (census at /debug/vars with -http)")
@@ -56,6 +58,8 @@ func main() {
 		TickInterval:   *tick,
 		MaxObjectSpeed: *vobj,
 		MaxQuerySpeed:  *vqry,
+		Shards:         *shards,
+		BatchedIngest:  *batched,
 		Protocol: dmknn.Protocol{
 			HorizonTicks: *horizon,
 			AnswerSlack:  *slack,

@@ -41,6 +41,15 @@ type ServerOptions struct {
 	// many parallel shards (interior scaling on multicore hosts; the
 	// wire protocol is unchanged).
 	Shards int
+	// BatchedIngest switches the (sharded) server to the batched ingest
+	// pipeline: uplinks arriving between ticks are enqueued per shard
+	// and drained shard-parallel at the next tick, instead of being
+	// processed under the owning shard's lock inside the transport's
+	// receive goroutine. The wire protocol is unchanged; responses to
+	// mid-tick arrivals are deferred to the next tick boundary, which a
+	// deployment already tolerates (LatencyTicks is 1). Implies at least
+	// one shard; combine with Shards for parallel drains.
+	BatchedIngest bool
 	// Transport selects the medium: TransportTCP (default; reliable,
 	// framed, with disconnect notifications) or TransportUDP (datagrams
 	// — lossy and unordered, the medium class the protocol was designed
@@ -172,8 +181,9 @@ func ListenAndServe(addr string, opts ServerOptions) (*Server, error) {
 	}
 	var srv serverCore
 	var err2 error
-	if opts.Shards > 1 {
-		srv, err2 = shard.New(opts.Shards, cfg, deps)
+	if opts.Shards > 1 || opts.BatchedIngest {
+		srv, err2 = shard.NewWithOptions(max(1, opts.Shards), cfg, deps,
+			shard.Options{Batched: opts.BatchedIngest})
 	} else {
 		srv, err2 = core.NewServer(cfg, deps)
 	}
@@ -206,6 +216,14 @@ func ListenAndServe(addr string, opts ServerOptions) (*Server, error) {
 				t := now()
 				if s.expire != nil {
 					s.expire()
+				}
+				// The batched pipeline drains the inter-tick arrivals
+				// here, on the tick goroutine that owns the medium;
+				// Drain is a no-op on synchronous servers. Finalize
+				// drains again itself, so replies landing mid-round
+				// still conclude probes this tick.
+				if d, ok := srv.(interface{ Drain(model.Tick) bool }); ok {
+					d.Drain(t)
 				}
 				srv.Tick(t)
 				for i := 0; i < 8 && srv.Finalize(t); i++ {

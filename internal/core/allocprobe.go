@@ -1,0 +1,89 @@
+package core
+
+// This file exposes the move-report hot path's allocation rate as a
+// callable probe, so cmd/dknn-bench can report allocs/op in its JSON
+// artifact without shelling out to `go test -bench`. The measured path
+// and setup mirror BenchmarkServerMoveReport / the zero-alloc CI test in
+// bench_test.go: a k=10 query installed over 25 repliers, then
+// in-boundary MoveReports applied in a loop.
+
+import (
+	"fmt"
+	"runtime"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/protocol"
+)
+
+// discardSide keeps only the last broadcast — enough to drive the
+// probe/install handshake.
+type discardSide struct{ last protocol.Message }
+
+func (d *discardSide) Broadcast(_ geo.Circle, m protocol.Message) { d.last = m }
+func (d *discardSide) Downlink(model.ObjectID, protocol.Message)  {}
+
+// MoveReportAllocsPerOp measures heap allocations per MoveReport on the
+// server's hottest path with tracing off, averaged over runs operations
+// (runs <= 0 selects a default). The expected value is 0; anything else
+// is a hot-path regression.
+func MoveReportAllocsPerOp(runs int) (float64, error) {
+	if runs <= 0 {
+		runs = 1000
+	}
+	side := &discardSide{}
+	now := model.Tick(1)
+	srv, err := NewServer(Config{
+		HorizonTicks:   20,
+		MinProbeRadius: 100,
+		AnswerSlack:    10,
+	}.WithWorldDefault(geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000))), ServerDeps{
+		Side:           side,
+		Now:            func() model.Tick { return now },
+		DT:             1,
+		MaxObjectSpeed: 20,
+		MaxQuerySpeed:  20,
+	})
+	if err != nil {
+		return 0, err
+	}
+	srv.HandleUplink(500, protocol.QueryRegister{Query: 1, K: 10, Pos: geo.Pt(500, 500), At: 1})
+	srv.Tick(1)
+	reply := func() {
+		probe, ok := side.last.(protocol.ProbeRequest)
+		if !ok {
+			return
+		}
+		for i := 1; i <= 25; i++ {
+			p := geo.Pt(500+float64(i)*3, 500)
+			if probe.Region.Contains(p) {
+				srv.HandleUplink(model.ObjectID(i), protocol.ProbeReply{
+					Query: 1, Seq: probe.Seq, Object: model.ObjectID(i), Pos: p, At: 1,
+				})
+			}
+		}
+	}
+	reply()
+	for i := 0; i < 6 && srv.Finalize(1); i++ {
+		reply()
+	}
+	inst, ok := side.last.(protocol.MonitorInstall)
+	if !ok {
+		return 0, fmt.Errorf("core: alloc probe setup produced no install (last %T)", side.last)
+	}
+	msg := protocol.MoveReport{MemberReport: protocol.MemberReport{
+		Query: 1, Epoch: inst.Epoch, Object: 3, Pos: geo.Pt(520, 501), At: 1,
+	}}
+
+	// Same discipline as testing.AllocsPerRun: single P, warm up once,
+	// then count Mallocs across the timed loop.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	srv.HandleUplink(3, msg)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		srv.HandleUplink(3, msg)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs), nil
+}

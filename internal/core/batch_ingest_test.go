@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/protocol"
+)
+
+// HandleUplinkBatch must apply its slice exactly as the equivalent
+// sequence of HandleUplink / HandleClientGone calls would, under a
+// single lock acquisition, firing the before hook once per entry in
+// slice order.
+func TestHandleUplinkBatchMatchesSequential(t *testing.T) {
+	mk := func() []Ingest {
+		return []Ingest{
+			{Seq: 1, From: 901, Msg: protocol.QueryRegister{Query: 1, Pos: geo.Pt(100, 100), K: 2, At: 1}},
+			{Seq: 2, From: 902, Msg: protocol.QueryRegister{Query: 2, Pos: geo.Pt(500, 500), K: 2, At: 1}},
+			{Seq: 3, From: 902}, // nil Msg: client 902 disconnected
+			{Seq: 4, From: 903, Msg: protocol.QueryRegister{Query: 3, Pos: geo.Pt(800, 200), K: 2, At: 1}},
+		}
+	}
+
+	batched, bSide, _ := unitServer(t, baseCfg())
+	var hooked []uint64
+	batched.HandleUplinkBatch(mk(), func(in Ingest) { hooked = append(hooked, in.Seq) })
+
+	seq, sSide, _ := unitServer(t, baseCfg())
+	for _, in := range mk() {
+		if in.Msg == nil {
+			seq.HandleClientGone(in.From)
+			continue
+		}
+		seq.HandleUplink(in.From, in.Msg)
+	}
+
+	if want := []uint64{1, 2, 3, 4}; len(hooked) != len(want) {
+		t.Fatalf("before hook fired %d times, want %d", len(hooked), len(want))
+	} else {
+		for i, s := range want {
+			if hooked[i] != s {
+				t.Fatalf("before hook order %v, want %v", hooked, want)
+			}
+		}
+	}
+	if batched.QueryCount() != seq.QueryCount() {
+		t.Fatalf("query count %d (batched) vs %d (sequential)", batched.QueryCount(), seq.QueryCount())
+	}
+	if batched.QueryCount() != 2 {
+		t.Fatalf("query count %d, want 2 (query 2 purged by the disconnect marker)", batched.QueryCount())
+	}
+	if len(bSide.broadcasts) != len(sSide.broadcasts) || len(bSide.downlinks) != len(sSide.downlinks) {
+		t.Fatalf("sends differ: %d/%d broadcasts, %d/%d downlinks",
+			len(bSide.broadcasts), len(sSide.broadcasts), len(bSide.downlinks), len(sSide.downlinks))
+	}
+	for i := range bSide.broadcasts {
+		if bSide.broadcasts[i] != sSide.broadcasts[i] {
+			t.Fatalf("broadcast %d differs: %+v vs %+v", i, bSide.broadcasts[i], sSide.broadcasts[i])
+		}
+	}
+}
+
+// An empty batch and a nil before hook are both legal.
+func TestHandleUplinkBatchEdgeCases(t *testing.T) {
+	srv, _, _ := unitServer(t, baseCfg())
+	srv.HandleUplinkBatch(nil, nil)
+	srv.HandleUplinkBatch([]Ingest{
+		{Seq: 1, From: 901, Msg: protocol.QueryRegister{Query: 1, Pos: geo.Pt(100, 100), K: 2, At: 1}},
+	}, nil)
+	if srv.QueryCount() != 1 {
+		t.Fatalf("query count %d, want 1", srv.QueryCount())
+	}
+	// A disconnect marker for an unknown client is a no-op.
+	srv.HandleUplinkBatch([]Ingest{{Seq: 2, From: 777}}, nil)
+	if srv.QueryCount() != 1 {
+		t.Fatalf("query count %d after unknown disconnect, want 1", srv.QueryCount())
+	}
+}

@@ -161,7 +161,53 @@ func (s *Server) HandleUplink(from model.ObjectID, msg protocol.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.track(time.Now())
+	s.handleUplinkLocked(from, msg, s.deps.Now())
+}
+
+// Ingest is one queued arrival for HandleUplinkBatch. A nil Msg is a
+// disconnect marker: the batch processor applies the same purge as
+// HandleClientGone(From) at that point of the arrival order.
+type Ingest struct {
+	// Seq is a caller-assigned global arrival number. The server does not
+	// interpret it; batching callers use it to reconstruct the arrival
+	// order of sends deferred across shards (see internal/shard).
+	Seq  uint64
+	From model.ObjectID
+	Msg  protocol.Message
+}
+
+// HandleUplinkBatch processes a tick's queued arrivals in slice order
+// under one lock acquisition and one busy-time sample. It is
+// semantically the loop
+//
+//	for _, in := range batch { s.HandleUplink(in.From, in.Msg) }
+//
+// with nil-Msg entries standing in for HandleClientGone(in.From). The
+// optional before hook runs just before each entry is applied (still
+// under the server lock); batching callers use it to stamp the entry's
+// Seq onto their send-capturing transport so every send the entry
+// triggers is attributable to its arrival position.
+func (s *Server) HandleUplinkBatch(batch []Ingest, before func(Ingest)) {
+	if len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.track(time.Now())
 	now := s.deps.Now()
+	for _, in := range batch {
+		if before != nil {
+			before(in)
+		}
+		if in.Msg == nil {
+			s.clientGoneLocked(in.From, now)
+			continue
+		}
+		s.handleUplinkLocked(in.From, in.Msg, now)
+	}
+}
+
+func (s *Server) handleUplinkLocked(from model.ObjectID, msg protocol.Message, now model.Tick) {
 	switch v := msg.(type) {
 	case protocol.QueryRegister:
 		s.register(v, from)
@@ -230,7 +276,10 @@ func (s *Server) HandleClientGone(id model.ObjectID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.track(time.Now())
-	now := s.deps.Now()
+	s.clientGoneLocked(id, s.deps.Now())
+}
+
+func (s *Server) clientGoneLocked(id model.ObjectID, now model.Tick) {
 	var deadQueries []model.QueryID
 	for _, q := range s.order {
 		mon := s.monitors[q]

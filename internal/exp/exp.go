@@ -99,10 +99,15 @@ var (
 		return r.Staleness.Mean()
 	}}
 	MetricGapP90 = Metric{"report gap p90", histQuantile(gapHist, 0.90)}
+	// MetricServLatP99 is the tail of the per-tick server processing
+	// time distribution (microseconds) — the latency view of the shard
+	// scaling story, where the mean (MetricServer) can hide stalls.
+	MetricServLatP99 = Metric{"server p99 µs", histQuantile(servLatHist, 0.99)}
 )
 
-func staleHist(r *sim.Result) *metrics.Histogram { return r.Staleness }
-func gapHist(r *sim.Result) *metrics.Histogram   { return r.ReportGaps }
+func staleHist(r *sim.Result) *metrics.Histogram   { return r.Staleness }
+func gapHist(r *sim.Result) *metrics.Histogram     { return r.ReportGaps }
+func servLatHist(r *sim.Result) *metrics.Histogram { return r.ServerLatencyUS }
 
 // histQuantile builds a metric function reading quantile p of one of a
 // result's observability histograms.
@@ -429,7 +434,7 @@ func FullProfile() Profile {
 		Proto:       core.DefaultConfig(),
 		CITau:       50,
 		Ns:          []int{5000, 10000, 20000, 40000, 80000},
-		LargeNs:     []int{25000, 50000, 100000},
+		LargeNs:     []int{25000, 50000, 100000, 1000000},
 		Ks:          []int{1, 5, 10, 20, 50},
 		ObjSpeeds:   []float64{5, 10, 20, 40},
 		QrySpeeds:   []float64{0, 5, 20, 40},
@@ -775,26 +780,41 @@ func (p Profile) Fig18BurstLoss() *Experiment {
 }
 
 // Fig19LargeScale: per-tick traffic and server wall-clock at populations
-// far beyond the paper's sweeps, up to 100k objects — feasible since the
-// simulated medium resolves broadcast audiences through the per-cell
-// client index instead of scanning the whole population per message.
-// Auditing is disabled (maintaining 100k-object ground truth would
-// dominate the runtime; answer quality at scale is covered by table3) and
-// each point runs a short horizon: the steady-state per-tick costs are
-// what scale with N, not the duration.
+// far beyond the paper's sweeps, up to one million objects — feasible
+// since the simulated medium resolves broadcast audiences through the
+// per-cell client index instead of scanning the whole population per
+// message, and since the batched shard pipeline (internal/shard) drains
+// a tick's arrivals shard-parallel. Alongside the single-server DKNN the
+// sweep runs the batched pipeline at every profile shard count, so the
+// server columns show the shard scaling directly at each N; observation
+// is on, so the p99 column reads the per-tick server latency histogram,
+// not just the mean. Auditing is disabled (maintaining ground truth at
+// these populations would dominate the runtime; answer quality at scale
+// is covered by table3) and each point runs a short horizon: the
+// steady-state per-tick costs are what scale with N, not the duration.
 func (p Profile) Fig19LargeScale() *Experiment {
+	mkBatched := func(n int) MethodSpec {
+		return MethodSpec{
+			Name:  fmt.Sprintf("DKNN[%d shards, batched]", n),
+			Build: func() (sim.Method, error) { return shard.NewBatchedMethod(n, p.Proto) },
+		}
+	}
 	e := &Experiment{
 		ID: "fig19", Title: "Large-population scaling: traffic and server time (audit-free)",
 		XLabel:  "N",
 		Methods: []MethodSpec{CI(p.CITau), DKNN(p.Proto)},
-		Metrics: []Metric{MetricUplink, MetricDown, MetricServer},
+		Metrics: []Metric{MetricUplink, MetricDown, MetricServer, MetricServLatP99},
 		Serial:  true, // reports MetricServer (wall-clock)
+	}
+	for _, n := range p.Shards {
+		e.Methods = append(e.Methods, mkBatched(n))
 	}
 	for _, n := range p.LargeNs {
 		cfg := workload.WithObjects(p.Base, n)
 		cfg.Ticks = 12
 		cfg.Warmup = 3
 		cfg.DisableAudit = true
+		cfg.Observe = true
 		e.Points = append(e.Points, Point{fmt.Sprint(n), cfg})
 	}
 	return e

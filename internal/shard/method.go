@@ -39,6 +39,7 @@ func (l *lockedSide) Broadcast(region geo.Circle, m protocol.Message) {
 type Method struct {
 	cfg    core.Config
 	n      int
+	opts   Options
 	server *Server
 	agents []*core.ObjectAgent
 	qcs    []*core.QueryAgent
@@ -46,31 +47,60 @@ type Method struct {
 
 var _ sim.Method = (*Method)(nil)
 
-// NewMethod returns a DKNN method whose server runs n shards.
+// NewMethod returns a DKNN method whose server runs n shards with
+// synchronous ingest.
 func NewMethod(n int, cfg core.Config) (*Method, error) {
+	return NewMethodWithOptions(n, cfg, Options{})
+}
+
+// NewBatchedMethod returns a DKNN method whose server runs n shards on
+// the batched ingest pipeline (per-shard arrival queues drained once per
+// tick, sends merged back into the synchronous order).
+func NewBatchedMethod(n int, cfg core.Config) (*Method, error) {
+	return NewMethodWithOptions(n, cfg, Options{Batched: true})
+}
+
+// NewMethodWithOptions returns a DKNN method whose server runs n shards
+// with the given ingest options.
+func NewMethodWithOptions(n int, cfg core.Config, opts Options) (*Method, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("shard: non-positive shard count %d", n)
 	}
-	return &Method{cfg: cfg, n: n}, nil
+	return &Method{cfg: cfg, n: n, opts: opts}, nil
 }
 
 // Name implements sim.Method.
-func (m *Method) Name() string { return "dknn-sharded" }
+func (m *Method) Name() string {
+	if m.opts.Batched {
+		return "dknn-batched"
+	}
+	return "dknn-sharded"
+}
 
 // Setup implements sim.Method.
 func (m *Method) Setup(env *sim.Env) error {
 	m.cfg = m.cfg.WithWorldDefault(env.World)
-	srv, err := New(m.n, m.cfg, core.ServerDeps{
-		Side:           &lockedSide{side: env.Net.ServerSide()},
+	// In synchronous mode the shards send mid-tick from their own
+	// goroutines, so the medium needs a serializing wrapper. In batched
+	// mode the shards write to capture buffers and the medium is only
+	// touched by flushSends on the engine goroutine, so the side is used
+	// directly — which is also what lets the medium see whole-drain
+	// broadcast batches.
+	var side transport.ServerSide = env.Net.ServerSide()
+	if !m.opts.Batched {
+		side = &lockedSide{side: side}
+	}
+	srv, err := NewWithOptions(m.n, m.cfg, core.ServerDeps{
+		Side:           side,
 		Now:            env.Net.Now,
 		DT:             env.DT,
 		MaxObjectSpeed: env.MaxObjectSpeed,
 		MaxQuerySpeed:  env.MaxQuerySpeed,
 		LatencyTicks:   env.LatencyTicks,
-	})
+	}, m.opts)
 	if err != nil {
 		return err
 	}
@@ -129,8 +159,13 @@ func (m *Method) ClientTick(now model.Tick) {
 	}
 }
 
-// ServerTick implements sim.Method.
-func (m *Method) ServerTick(now model.Tick) { m.server.Tick(now) }
+// ServerTick implements sim.Method: in batched mode the arrivals
+// delivered since the last tick are drained first, exactly where the
+// synchronous server would have processed them.
+func (m *Method) ServerTick(now model.Tick) {
+	m.server.Drain(now)
+	m.server.Tick(now)
+}
 
 // Finalize implements sim.Method.
 func (m *Method) Finalize(now model.Tick) bool { return m.server.Finalize(now) }

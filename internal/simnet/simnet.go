@@ -163,6 +163,11 @@ type queued struct {
 	// region and sibling nodes cover the rest of the circle.
 	filter func(grid.Cell) bool
 	msg    protocol.Message
+	// batch, when non-nil, makes this entry a broadcast batch: one queue
+	// entry carrying a drain's worth of region broadcasts that deliver
+	// back-to-back in item order (see BroadcastBatch in batch.go). dir is
+	// Broadcast and region/msg are unused.
+	batch []transport.BroadcastItem
 }
 
 // cellRef records where a client currently sits in the cell index: the
@@ -224,6 +229,17 @@ type Network struct {
 	indexFresh bool
 	recipients []model.ObjectID
 
+	// Memoized per-cell sorted audiences for the batched broadcast path:
+	// cellSorted[i] records that cellSortCache[i] currently equals
+	// cellIDs[i] sorted by id. The two index mutators (placeClient,
+	// removeFromCell) clear the bit, so a valid snapshot survives across
+	// flushes while the cell's membership is stable and a batch touching
+	// the same cell k times sorts it once instead of k times. mergeLists
+	// is the gather scratch holding the snapshots of one region's cells.
+	cellSorted    []bool
+	cellSortCache [][]model.ObjectID
+	mergeLists    [][]model.ObjectID
+
 	// linearFanout forces the original Θ(clients) reference fan-out. The
 	// equivalence property test and the fan-out benchmark run it side by
 	// side with the indexed path; both consume the loss generators
@@ -257,6 +273,9 @@ func New(cfg Config) *Network {
 		buckets: make([][]queued, ringSize(cfg.LatencyTicks+cfg.Faults.JitterTicks+2)),
 		cellIDs: make([][]model.ObjectID, cfg.Geometry.NumCells()),
 		cellPos: make(map[model.ObjectID]cellRef),
+
+		cellSorted:    make([]bool, cfg.Geometry.NumCells()),
+		cellSortCache: make([][]model.ObjectID, cfg.Geometry.NumCells()),
 	}
 }
 
@@ -579,6 +598,9 @@ func (n *Network) deliver(q queued) int {
 		h.HandleServerMessage(q.msg)
 		return 1
 	case metrics.Broadcast:
+		if q.batch != nil {
+			return n.deliverBroadcastBatch(q)
+		}
 		return n.deliverBroadcast(q)
 	default:
 		panic("simnet: unknown direction")
@@ -595,7 +617,7 @@ func (n *Network) deliverBroadcast(q queued) int {
 		panic("simnet: broadcast without a position oracle")
 	}
 	if n.linearFanout {
-		return n.deliverBroadcastLinear(q)
+		return n.deliverBroadcastLinear(q.region, q.filter, q.msg)
 	}
 	n.refreshCellIndex()
 	rec := n.recipients[:0]
@@ -607,6 +629,12 @@ func (n *Network) deliverBroadcast(q queued) int {
 	})
 	slices.Sort(rec)
 	n.recipients = rec
+	return n.fanout(rec, q.msg)
+}
+
+// fanout transmits msg to the gathered, id-sorted audience, applying the
+// per-recipient drop checks and loss draws in audience order.
+func (n *Network) fanout(rec []model.ObjectID, msg protocol.Message) int {
 	delivered := 0
 	for _, id := range rec {
 		// Re-check membership per recipient: a handler earlier in this
@@ -618,22 +646,22 @@ func (n *Network) deliverBroadcast(q queued) int {
 		if !ok {
 			n.counters.RecordDrop(metrics.Broadcast)
 			if n.trace != nil {
-				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, msg.Kind())
 			}
 			continue
 		}
 		if n.down[id] || n.lose(n.cfg.BroadcastLoss) || n.geLose(metrics.Broadcast) {
 			n.counters.RecordDrop(metrics.Broadcast)
 			if n.trace != nil {
-				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, msg.Kind())
 			}
 			continue
 		}
 		n.counters.RecordDeliver(metrics.Broadcast)
 		if n.trace != nil {
-			n.emit(obs.EvNetDeliver, metrics.Broadcast, id, q.msg.Kind())
+			n.emit(obs.EvNetDeliver, metrics.Broadcast, id, msg.Kind())
 		}
-		h.HandleServerMessage(q.msg)
+		h.HandleServerMessage(msg)
 		delivered++
 	}
 	return delivered
@@ -644,11 +672,11 @@ func (n *Network) deliverBroadcast(q queued) int {
 // retained as the behavioral reference the indexed path must match
 // bit-for-bit (recipients, counters, and RNG stream); tests and the
 // fan-out benchmark select it via linearFanout.
-func (n *Network) deliverBroadcastLinear(q queued) int {
-	cells := n.cfg.Geometry.CellsIntersecting(q.region)
+func (n *Network) deliverBroadcastLinear(region geo.Circle, filter func(grid.Cell) bool, msg protocol.Message) int {
+	cells := n.cfg.Geometry.CellsIntersecting(region)
 	inCell := make(map[grid.Cell]bool, len(cells))
 	for _, c := range cells {
-		if q.filter == nil || q.filter(c) {
+		if filter == nil || filter(c) {
 			inCell[c] = true
 		}
 	}
@@ -662,22 +690,22 @@ func (n *Network) deliverBroadcastLinear(q queued) int {
 		if !ok {
 			n.counters.RecordDrop(metrics.Broadcast)
 			if n.trace != nil {
-				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, msg.Kind())
 			}
 			continue
 		}
 		if n.down[id] || n.lose(n.cfg.BroadcastLoss) || n.geLose(metrics.Broadcast) {
 			n.counters.RecordDrop(metrics.Broadcast)
 			if n.trace != nil {
-				n.emit(obs.EvNetDrop, metrics.Broadcast, id, q.msg.Kind())
+				n.emit(obs.EvNetDrop, metrics.Broadcast, id, msg.Kind())
 			}
 			continue
 		}
 		n.counters.RecordDeliver(metrics.Broadcast)
 		if n.trace != nil {
-			n.emit(obs.EvNetDeliver, metrics.Broadcast, id, q.msg.Kind())
+			n.emit(obs.EvNetDeliver, metrics.Broadcast, id, msg.Kind())
 		}
-		h.HandleServerMessage(q.msg)
+		h.HandleServerMessage(msg)
 		delivered++
 	}
 	return delivered
@@ -723,6 +751,7 @@ func (n *Network) placeClient(id model.ObjectID) {
 	}
 	n.cellIDs[idx] = append(n.cellIDs[idx], id)
 	n.cellPos[id] = cellRef{idx: idx, slot: len(n.cellIDs[idx]) - 1, located: true}
+	n.cellSorted[idx] = false
 }
 
 // removeFromCell unlinks id from its current cell using swap-with-last.
@@ -737,6 +766,7 @@ func (n *Network) removeFromCell(id model.ObjectID, ref cellRef) {
 		n.cellPos[moved] = mref
 	}
 	n.cellIDs[ref.idx] = cell[:last]
+	n.cellSorted[ref.idx] = false
 }
 
 func (n *Network) lose(p float64) bool {

@@ -31,6 +31,26 @@ type ServerSide interface {
 	Broadcast(region geo.Circle, m protocol.Message)
 }
 
+// BroadcastItem is one region-scoped message inside a broadcast batch.
+type BroadcastItem struct {
+	Region geo.Circle
+	Msg    protocol.Message
+}
+
+// BatchServerSide is optionally implemented by a ServerSide whose medium
+// can accept a whole tick's broadcasts in one call. Semantically
+// BroadcastBatch(items) is exactly the loop
+//
+//	for _, it := range items { side.Broadcast(it.Region, it.Msg) }
+//
+// — same per-item metering, same recipients, same delivery order — but
+// the medium may share per-cell audience work across the items instead
+// of redoing it per call. Callers must treat the items slice as borrowed:
+// the medium copies what it keeps before returning.
+type BatchServerSide interface {
+	BroadcastBatch(items []BroadcastItem)
+}
+
 // ClientSide is the sending surface available to one mobile client.
 type ClientSide interface {
 	// Uplink sends one unicast message to the server.
