@@ -7,6 +7,13 @@
 //	dknn-agent [-addr 127.0.0.1:7707] [-objects 100] [-world 10000]
 //	           [-speed 20] [-tick 1s] [-query 1] [-k 10] [-duration 30s]
 //
+// Against a federation, pass every node's client address instead (in
+// node-id order, matching the servers' -client-addrs); the agents then
+// attach to the node owning their position and follow it across strip
+// boundaries:
+//
+//	dknn-agent -addrs 127.0.0.1:7707,127.0.0.1:7708 -grid 64 ...
+//
 // With -query N the agent also registers query id N (k nearest objects
 // to a moving focal point) and prints every answer update it receives.
 package main
@@ -15,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dmknn"
@@ -23,18 +31,25 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7707", "server address")
+	addr := flag.String("addr", "127.0.0.1:7707", "server address (standalone server)")
+	addrs := flag.String("addrs", "", "comma-separated client addresses of ALL federation nodes, in node-id order")
 	objects := flag.Int("objects", 100, "number of moving objects to simulate")
 	world := flag.Float64("world", 10000, "world side length in meters (must match the server)")
+	gridN := flag.Int("grid", 64, "broadcast grid cells per side (federation; must match the servers)")
 	speed := flag.Float64("speed", 20, "max speed, m/s")
 	tick := flag.Duration("tick", time.Second, "evaluation interval (must match the server)")
 	queryID := flag.Uint("query", 0, "register this query id (0 = objects only)")
 	k := flag.Int("k", 10, "number of neighbors for the query")
-	queryRange := flag.Float64("range", 0, "make the query a fixed-radius range monitor of this many meters (overrides -k)")
+	queryRange := flag.Float64("range", 0, "make the query a fixed-radius range monitor of this many meters (overrides -k; standalone only)")
 	baseID := flag.Uint("base-id", 1, "first object client id")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	seed := flag.Int64("seed", 1, "trajectory seed")
 	flag.Parse()
+
+	var fedAddrs []string
+	if *addrs != "" {
+		fedAddrs = strings.Split(*addrs, ",")
+	}
 
 	rect := geo.NewRect(geo.Pt(0, 0), geo.Pt(*world, *world))
 	model, err := mobility.NewRandomWaypoint(mobility.Config{
@@ -50,9 +65,10 @@ func main() {
 	}
 	states := model.Init(n)
 
-	opts := dmknn.ClientOptions{
-		World:        dmknn.Rect{MinX: 0, MinY: 0, MaxX: *world, MaxY: *world},
-		TickInterval: *tick,
+	worldRect := dmknn.Rect{MinX: 0, MinY: 0, MaxX: *world, MaxY: *world}
+	opts := dmknn.ClientOptions{World: worldRect, TickInterval: *tick}
+	fedOpts := dmknn.FederationClientOptions{
+		World: worldRect, GridCols: *gridN, GridRows: *gridN, TickInterval: *tick,
 	}
 
 	// Drive all trajectories from one goroutine at the tick rate.
@@ -74,15 +90,26 @@ func main() {
 	for i := 0; i < *objects; i++ {
 		idx := i
 		id := dmknn.ObjectID(uint32(*baseID) + uint32(i))
-		oc, err := dmknn.DialObject(*addr, id, func() dmknn.Point {
+		pos := func() dmknn.Point {
 			return dmknn.Point{X: states[idx].Pos.X, Y: states[idx].Pos.Y}
-		}, opts)
+		}
+		var oc *dmknn.ObjectClient
+		var err error
+		if fedAddrs != nil {
+			oc, err = dmknn.DialObjectCluster(fedAddrs, id, pos, fedOpts)
+		} else {
+			oc, err = dmknn.DialObject(*addr, id, pos, opts)
+		}
 		if err != nil {
 			fatal(fmt.Errorf("object %d: %w", id, err))
 		}
 		closers = append(closers, oc.Close)
 	}
-	fmt.Printf("dknn-agent: %d objects connected to %s\n", *objects, *addr)
+	where := *addr
+	if fedAddrs != nil {
+		where = fmt.Sprintf("%d-node federation", len(fedAddrs))
+	}
+	fmt.Printf("dknn-agent: %d objects connected to %s\n", *objects, where)
 
 	if *queryID != 0 {
 		qi := n - 1
@@ -92,9 +119,14 @@ func main() {
 		show := func(a dmknn.Answer) { fmt.Printf("dknn-agent: %v\n", a) }
 		var qc *dmknn.QueryClient
 		var err error
-		if *queryRange > 0 {
+		switch {
+		case fedAddrs != nil && *queryRange > 0:
+			fatal(fmt.Errorf("range queries are not supported in federation mode"))
+		case fedAddrs != nil:
+			qc, err = dmknn.DialQueryCluster(fedAddrs, clientID, dmknn.QueryID(*queryID), *k, pos, vel, show, fedOpts)
+		case *queryRange > 0:
 			qc, err = dmknn.DialRange(*addr, clientID, dmknn.QueryID(*queryID), *queryRange, pos, vel, show, opts)
-		} else {
+		default:
 			qc, err = dmknn.DialQuery(*addr, clientID, dmknn.QueryID(*queryID), *k, pos, vel, show, opts)
 		}
 		if err != nil {

@@ -1,11 +1,24 @@
 // Command dknnd runs a deployed DKNN query server: a TCP daemon that
-// moving objects and query clients (cmd/dknn-agent) connect to.
+// moving objects and query clients (cmd/dknn-agent) connect to. It runs
+// either standalone (the default) or as one node of a multi-process
+// federation.
 //
 // Usage:
 //
-//	dknnd [-addr :7App7] [-world 10000] [-grid 64] [-tick 1s]
+//	dknnd [-addr :7707] [-world 10000] [-grid 64] [-tick 1s]
 //	      [-vobj 30] [-vqry 30] [-horizon 20] [-slack 10] [-theta 0]
 //	      [-shards 4] [-batched] [-http :8080] [-trace]
+//
+// Federation: start one dknnd per node, each with its node id, the full
+// list of peer (inter-node) addresses, and the full list of client
+// addresses — both indexed by node id and identical on every node. The
+// world is split into len(peers) column strips; each node serves the
+// clients inside its strip and relays boundary-spanning traffic to the
+// owning peer over the link.
+//
+//	dknnd -node 0 -peers  127.0.0.1:7801,127.0.0.1:7802 \
+//	              -client-addrs 127.0.0.1:7707,127.0.0.1:7708 \
+//	              [-heartbeat 500ms] [-reap 0] ...
 //
 // The daemon prints its listen address and, once a second, a one-line
 // status with connected clients and registered queries. Stop with
@@ -16,7 +29,9 @@
 // standard expvar surface at /debug/vars (key "dknnd_trace", alongside
 // "dknnd_stats"), so any expvar-speaking scraper can watch probe,
 // install, answer, and resync rates live; the recorder's bounded tail of
-// recent events stays available for post-mortems.
+// recent events stays available for post-mortems. In federation mode
+// -http additionally serves /healthz: 200 once every peer link session
+// is up, 503 while any is down.
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,8 +50,16 @@ import (
 	"dmknn/internal/obs"
 )
 
+// daemon is the common surface of the standalone and federation servers.
+type daemon interface {
+	Addr() string
+	ClientCount() int
+	QueryCount() int
+	Close() error
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7707", "listen address")
+	addr := flag.String("addr", "127.0.0.1:7707", "listen address (standalone mode)")
 	world := flag.Float64("world", 10000, "world side length in meters (square, origin at 0,0)")
 	gridN := flag.Int("grid", 64, "broadcast grid cells per side")
 	tick := flag.Duration("tick", time.Second, "evaluation interval")
@@ -44,52 +68,111 @@ func main() {
 	horizon := flag.Int("horizon", 20, "monitor refresh horizon, ticks")
 	slack := flag.Int("slack", 10, "answer buffer size m")
 	theta := flag.Float64("theta", 0, "in-boundary movement threshold, meters")
-	shards := flag.Int("shards", 1, "parallel query shards (>1 enables interior sharding)")
-	batched := flag.Bool("batched", false, "batched ingest: queue uplinks per shard, drain at each tick")
+	shards := flag.Int("shards", 1, "parallel query shards (>1 enables interior sharding; standalone mode)")
+	batched := flag.Bool("batched", false, "batched ingest: queue uplinks per shard, drain at each tick (standalone mode)")
 	quiet := flag.Bool("quiet", false, "suppress the periodic status line")
 	httpAddr := flag.String("http", "", "serve operational stats as JSON on this address (e.g. :8080)")
 	trace := flag.Bool("trace", false, "arm a protocol flight recorder (census at /debug/vars with -http)")
+	node := flag.Int("node", -1, "federation: this process's node id")
+	peers := flag.String("peers", "", "federation: comma-separated inter-node addresses of ALL nodes, indexed by node id")
+	clientAddrs := flag.String("client-addrs", "", "federation: comma-separated client addresses of ALL nodes, indexed by node id")
+	strips := flag.Int("strips", 0, "federation: expected cluster size (0 = derive from -peers; a mismatch is fatal)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "federation: peer keepalive cadence")
+	reap := flag.Duration("reap", 0, "federation: evict clients silent for this long (0 = off)")
 	flag.Parse()
 
-	opts := dmknn.ServerOptions{
-		World:          dmknn.Rect{MinX: 0, MinY: 0, MaxX: *world, MaxY: *world},
-		GridCols:       *gridN,
-		GridRows:       *gridN,
-		TickInterval:   *tick,
-		MaxObjectSpeed: *vobj,
-		MaxQuerySpeed:  *vqry,
-		Shards:         *shards,
-		BatchedIngest:  *batched,
-		Protocol: dmknn.Protocol{
-			HorizonTicks: *horizon,
-			AnswerSlack:  *slack,
-			ThetaInside:  *theta,
-		},
+	proto := dmknn.Protocol{
+		HorizonTicks: *horizon,
+		AnswerSlack:  *slack,
+		ThetaInside:  *theta,
 	}
 	var rec *obs.Recorder
+	var sink obs.Sink
 	if *trace {
 		rec = obs.NewRecorder(0)
-		opts.Trace = rec
+		sink = rec
 	}
-	srv, err := dmknn.ListenAndServe(*addr, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dknnd: %v\n", err)
-		os.Exit(1)
+	worldRect := dmknn.Rect{MinX: 0, MinY: 0, MaxX: *world, MaxY: *world}
+
+	var (
+		srv      daemon
+		stats    func() any // JSON-ready operational snapshot
+		healthy  func() bool
+		fedLabel string
+	)
+	if *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		clientList := strings.Split(*clientAddrs, ",")
+		if *strips != 0 && *strips != len(peerList) {
+			fmt.Fprintf(os.Stderr, "dknnd: -strips %d but %d peer addresses\n", *strips, len(peerList))
+			os.Exit(1)
+		}
+		ns, err := dmknn.ListenAndServeNode(dmknn.FederationOptions{
+			World:          worldRect,
+			GridCols:       *gridN,
+			GridRows:       *gridN,
+			TickInterval:   *tick,
+			MaxObjectSpeed: *vobj,
+			MaxQuerySpeed:  *vqry,
+			Protocol:       proto,
+			Node:           *node,
+			PeerAddrs:      peerList,
+			ClientAddrs:    clientList,
+			Heartbeat:      *heartbeat,
+			IdleReap:       *reap,
+			Trace:          sink,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dknnd: %v\n", err)
+			os.Exit(1)
+		}
+		srv = ns
+		stats = func() any { return ns.Stats() }
+		healthy = ns.Healthy
+		fedLabel = fmt.Sprintf(" node %d/%d (link %s)", *node, len(peerList), ns.PeerAddr())
+	} else {
+		s, err := dmknn.ListenAndServe(*addr, dmknn.ServerOptions{
+			World:          worldRect,
+			GridCols:       *gridN,
+			GridRows:       *gridN,
+			TickInterval:   *tick,
+			MaxObjectSpeed: *vobj,
+			MaxQuerySpeed:  *vqry,
+			Shards:         *shards,
+			BatchedIngest:  *batched,
+			Protocol:       proto,
+			Trace:          sink,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dknnd: %v\n", err)
+			os.Exit(1)
+		}
+		srv = s
+		stats = func() any { return s.Stats() }
 	}
-	fmt.Printf("dknnd: listening on %s (world %.0fm², tick %v)\n", srv.Addr(), *world, *tick)
+	fmt.Printf("dknnd: listening on %s%s (world %.0fm², tick %v)\n", srv.Addr(), fedLabel, *world, *tick)
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			if err := json.NewEncoder(w).Encode(srv.Stats()); err != nil {
+			if err := json.NewEncoder(w).Encode(stats()); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		if healthy != nil {
+			mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+				if healthy() {
+					fmt.Fprintln(w, "ok")
+					return
+				}
+				http.Error(w, "peer link down", http.StatusServiceUnavailable)
+			})
+		}
 		// The standard expvar surface: process-wide vars (memstats,
 		// cmdline) plus the daemon's operational counters, and — with
 		// -trace — the flight recorder's per-event-type census.
-		expvar.Publish("dknnd_stats", expvar.Func(func() any { return srv.Stats() }))
+		expvar.Publish("dknnd_stats", expvar.Func(stats))
 		if rec != nil {
 			expvar.Publish("dknnd_trace", expvar.Func(func() any { return rec.Counts() }))
 		}
@@ -117,7 +200,12 @@ func main() {
 			return
 		case <-status.C:
 			if !*quiet {
-				fmt.Printf("dknnd: clients=%d queries=%d\n", srv.ClientCount(), srv.QueryCount())
+				if ns, ok := srv.(*dmknn.NodeServer); ok {
+					fmt.Printf("dknnd: node=%d clients=%d queries=%d peers_up=%d\n",
+						ns.Node(), ns.ClientCount(), ns.QueryCount(), ns.PeersUp())
+				} else {
+					fmt.Printf("dknnd: clients=%d queries=%d\n", srv.ClientCount(), srv.QueryCount())
+				}
 			}
 		}
 	}

@@ -1,0 +1,648 @@
+package dmknn
+
+// This file is the multi-process federation surface: one ListenAndServeNode
+// per process runs one node of a dknnd cluster (a cluster.Member over a
+// nettcp radio and a cluster.TCPLink), and DialObjectCluster/
+// DialQueryCluster connect clients that follow their position across
+// strip boundaries — redialing the owning node on their own initiative
+// (objects track the static partition) or on a NodeRedirect from a
+// server (queries follow their migrating monitor).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dmknn/internal/cluster"
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+	"dmknn/internal/metrics"
+	"dmknn/internal/model"
+	"dmknn/internal/nettcp"
+	"dmknn/internal/obs"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// FederationOptions configures one node of a multi-process federation.
+// World, grid, tick, speed, and protocol settings must be identical on
+// every node (they define the shared partition), and the address slices
+// must list every node in id order.
+type FederationOptions struct {
+	// World, grid, tick, speeds, and protocol settings as in
+	// ServerOptions (same defaults).
+	World          Rect
+	GridCols       int
+	GridRows       int
+	TickInterval   time.Duration
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	Protocol       Protocol
+
+	// Node is this process's node id in [0, len(PeerAddrs)).
+	Node int
+	// PeerAddrs holds every node's inter-node (link) listen address,
+	// indexed by node id. len(PeerAddrs) is the cluster size: the world
+	// is divided into that many column strips.
+	PeerAddrs []string
+	// ClientAddrs holds every node's client listen address, indexed by
+	// node id; this node listens on ClientAddrs[Node], and redirects
+	// carry the others to mis-attached clients.
+	ClientAddrs []string
+
+	// Heartbeat is the peer keepalive cadence (default 500ms; a peer
+	// silent for 3 heartbeats is redialed).
+	Heartbeat time.Duration
+	// IdleReap, when > 0, evicts client connections with no inbound
+	// frame for this long. Off by default: objects with no monitors are
+	// legitimately silent indefinitely on TCP.
+	IdleReap time.Duration
+	// Trace, when set, receives the node's protocol and federation
+	// events (stamped with the node id). Must be safe for concurrent
+	// use; obs.Recorder is.
+	Trace obs.Sink
+}
+
+func (o FederationOptions) withDefaults() (FederationOptions, error) {
+	if o.World == (Rect{}) {
+		return o, fmt.Errorf("dmknn: FederationOptions.World is required")
+	}
+	if len(o.PeerAddrs) < 1 {
+		return o, fmt.Errorf("dmknn: FederationOptions.PeerAddrs is required")
+	}
+	if len(o.ClientAddrs) != len(o.PeerAddrs) {
+		return o, fmt.Errorf("dmknn: %d client addresses for %d nodes", len(o.ClientAddrs), len(o.PeerAddrs))
+	}
+	if o.Node < 0 || o.Node >= len(o.PeerAddrs) {
+		return o, fmt.Errorf("dmknn: node %d outside [0,%d)", o.Node, len(o.PeerAddrs))
+	}
+	if o.GridCols == 0 {
+		o.GridCols = 64
+	}
+	if o.GridRows == 0 {
+		o.GridRows = 64
+	}
+	if o.TickInterval == 0 {
+		o.TickInterval = time.Second
+	}
+	if o.MaxObjectSpeed == 0 {
+		o.MaxObjectSpeed = 30
+	}
+	if o.MaxQuerySpeed == 0 {
+		o.MaxQuerySpeed = 30
+	}
+	return o, nil
+}
+
+// NodeServer is one running node of a deployed federation.
+type NodeServer struct {
+	node   int
+	tcp    *nettcp.Server
+	link   *cluster.TCPLink
+	member *cluster.Member
+	reap   time.Duration
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// ListenAndServeNode starts one federation node: the client endpoint on
+// ClientAddrs[Node], the peer link on PeerAddrs[Node], and the tick
+// loop. Start every node of the cluster; peers reconnect with backoff,
+// so start order does not matter.
+func ListenAndServeNode(opts FederationOptions) (*NodeServer, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	world := opts.World.internal()
+	geom := grid.NewGeometry(world, opts.GridCols, opts.GridRows)
+	part, err := cluster.NewPartition(geom, len(opts.PeerAddrs))
+	if err != nil {
+		return nil, err
+	}
+	now := wallClock(opts.TickInterval)
+	tcp, err := nettcp.Listen(opts.ClientAddrs[opts.Node], geom)
+	if err != nil {
+		return nil, err
+	}
+	link, err := cluster.NewTCPLink(cluster.TCPConfig{
+		Node:      opts.Node,
+		Addrs:     opts.PeerAddrs,
+		Heartbeat: opts.Heartbeat,
+		Now:       now,
+	})
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	cfg := opts.Protocol.internal().WithWorldDefault(world)
+	member, err := cluster.NewMember(part, opts.Node, cfg, cluster.MemberDeps{
+		Link:        link,
+		Radio:       tcp.Side(),
+		ClientAddrs: opts.ClientAddrs,
+		Now:         now,
+		DT:          opts.TickInterval.Seconds(),
+		MaxObjectSpeed: opts.MaxObjectSpeed,
+		MaxQuerySpeed:  opts.MaxQuerySpeed,
+		// A cross-boundary probe pays the radio round trip plus a link
+		// hop each way: budget one extra tick over the single-node bound.
+		LatencyTicks: 2,
+		Trace:        opts.Trace,
+	})
+	if err != nil {
+		link.Close()
+		tcp.Close()
+		return nil, err
+	}
+	tcp.AttachHandler(member)
+
+	s := &NodeServer{
+		node:   opts.Node,
+		tcp:    tcp,
+		link:   link,
+		member: member,
+		reap:   opts.IdleReap,
+		ticker: time.NewTicker(opts.TickInterval),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		_ = tcp.Serve()
+	}()
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-s.ticker.C:
+				t := now()
+				if s.reap > 0 {
+					s.tcp.ReapIdle(s.reap)
+				}
+				member.Tick(t)
+				for i := 0; i < 8 && member.Finalize(t); i++ {
+				}
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Node returns this server's node id.
+func (s *NodeServer) Node() int { return s.node }
+
+// Addr returns the client listen address ("host:port").
+func (s *NodeServer) Addr() string { return s.tcp.Addr().String() }
+
+// PeerAddr returns the inter-node listen address.
+func (s *NodeServer) PeerAddr() string { return s.link.Addr().String() }
+
+// Answer returns the node's current answer for a locally homed query.
+func (s *NodeServer) Answer(q QueryID) Answer {
+	return fromAnswer(s.member.Answer(model.QueryID(q)))
+}
+
+// QueryCount returns the number of locally homed queries.
+func (s *NodeServer) QueryCount() int { return s.member.QueryCount() }
+
+// ClientCount returns the number of clients attached to this node.
+func (s *NodeServer) ClientCount() int { return s.tcp.ClientCount() }
+
+// PeersUp returns how many peer link sessions are currently established
+// (out of len(PeerAddrs)-1).
+func (s *NodeServer) PeersUp() int { return s.link.ConnectedCount() }
+
+// Healthy reports whether every peer link session is established.
+func (s *NodeServer) Healthy() bool {
+	return s.link.ConnectedCount() == s.member.Partition().Nodes()-1
+}
+
+// NodeStats is an operational snapshot of one federation node: the
+// single-server counters plus the federation-level ones.
+type NodeStats struct {
+	Stats
+	Node           int    `json:"node"`
+	PeersUp        int    `json:"peers_up"`
+	LocalQueries   int    `json:"local_queries"`
+	ObjectHandoffs uint64 `json:"object_handoffs"`
+	QueryHandoffs  uint64 `json:"query_handoffs"`
+	RelayDrops     uint64 `json:"relay_drops"`
+	Redirects      uint64 `json:"redirects"`
+	Evictions      uint64 `json:"evictions"`
+	LinkSent       uint64 `json:"link_sent"`
+	LinkDelivered  uint64 `json:"link_delivered"`
+	LinkDropped    uint64 `json:"link_dropped"`
+	LinkSentBytes  uint64 `json:"link_sent_bytes"`
+}
+
+// Stats returns current operational counters.
+func (s *NodeServer) Stats() NodeStats {
+	c := s.tcp.Counters()
+	fed := s.member.Stats()
+	ls := s.link.Stats()
+	return NodeStats{
+		Stats: Stats{
+			Clients:        s.tcp.ClientCount(),
+			Queries:        s.member.QueryCount(),
+			UplinkMsgs:     c.Sent(metrics.Uplink),
+			DownlinkMsgs:   c.Sent(metrics.Downlink),
+			BroadcastMsgs:  c.Sent(metrics.Broadcast),
+			UplinkBytes:    c.SentBytes(metrics.Uplink),
+			DownlinkBytes:  c.SentBytes(metrics.Downlink),
+			BroadcastBytes: c.SentBytes(metrics.Broadcast),
+			BusyTime:       s.member.BusyTime(),
+		},
+		Node:           s.node,
+		PeersUp:        s.link.ConnectedCount(),
+		LocalQueries:   s.member.LocalQueries(),
+		ObjectHandoffs: fed.ObjectHandoffs,
+		QueryHandoffs:  fed.QueryHandoffs,
+		RelayDrops:     fed.RelayDrops,
+		Redirects:      s.member.Redirects(),
+		Evictions:      c.Evictions(),
+		LinkSent:       ls.Sent,
+		LinkDelivered:  ls.Delivered,
+		LinkDropped:    ls.Dropped,
+		LinkSentBytes:  ls.SentBytes,
+	}
+}
+
+// Close stops the tick loop, the peer link, and the client endpoint.
+func (s *NodeServer) Close() error {
+	close(s.done)
+	s.ticker.Stop()
+	lerr := s.link.Close()
+	terr := s.tcp.Close()
+	s.wg.Wait()
+	if terr != nil {
+		return terr
+	}
+	return lerr
+}
+
+// ---------------------------------------------------------------------------
+// Federation clients
+
+// FederationClientOptions configures a client of a multi-process
+// federation. World, grid, tick, and protocol settings must match the
+// servers' — clients derive the strip partition from them to dial the
+// node owning their position, the TCP stand-in for positional radio.
+type FederationClientOptions struct {
+	World        Rect
+	GridCols     int
+	GridRows     int
+	TickInterval time.Duration
+	Protocol     Protocol
+}
+
+func (o FederationClientOptions) withDefaults() (FederationClientOptions, error) {
+	if o.World == (Rect{}) {
+		return o, fmt.Errorf("dmknn: FederationClientOptions.World is required")
+	}
+	if o.GridCols == 0 {
+		o.GridCols = 64
+	}
+	if o.GridRows == 0 {
+		o.GridRows = 64
+	}
+	if o.TickInterval == 0 {
+		o.TickInterval = time.Second
+	}
+	return o, nil
+}
+
+// fedConn is a client connection to a federation: a transport.ClientSide
+// facade over whichever node currently owns the client's position. It
+// re-dials on NodeRedirect downlinks, on connection death (with retries
+// at tick cadence, surviving a node restart), and — for objects, which
+// may be legitimately silent — on its own observation that the position
+// crossed a strip boundary, flushing a final LocationReport on the old
+// connection first so the old node hands the state off before the
+// disconnect.
+type fedConn struct {
+	id       model.ObjectID
+	addrs    []string
+	part     cluster.Partition
+	pos      func() geo.Point
+	now      func() model.Tick
+	interval time.Duration
+	track    bool // self-initiated boundary migration (objects)
+	handler  transport.ClientHandler
+
+	mu      sync.Mutex
+	cur     *nettcp.Client
+	curNode int
+	closed  bool
+
+	kick chan int // redirect target node ids
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newFedConn(addrs []string, id model.ObjectID, pos func() geo.Point,
+	opts FederationClientOptions, track bool, h transport.ClientHandler) (*fedConn, error) {
+	geom := grid.NewGeometry(opts.World.internal(), opts.GridCols, opts.GridRows)
+	part, err := cluster.NewPartition(geom, len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	f := &fedConn{
+		id:       id,
+		addrs:    addrs,
+		part:     part,
+		pos:      pos,
+		now:      wallClock(opts.TickInterval),
+		interval: opts.TickInterval,
+		track:    track,
+		handler:  h,
+		curNode:  -1,
+		kick:     make(chan int, 4),
+		done:     make(chan struct{}),
+	}
+	// Dial the owner of the starting position; fall back to any node
+	// (attachment heals through redirects once traffic flows).
+	owner := part.NodeOf(pos())
+	order := []int{owner}
+	for i := range addrs {
+		if i != owner {
+			order = append(order, i)
+		}
+	}
+	var firstErr error
+	for _, n := range order {
+		cl, err := nettcp.Dial(addrs[n], id, transport.ClientHandlerFunc(f.dispatch))
+		if err == nil {
+			f.cur, f.curNode = cl, n
+			break
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if f.cur == nil {
+		return nil, fmt.Errorf("dmknn: no federation node reachable: %w", firstErr)
+	}
+	f.wg.Add(1)
+	go f.supervise()
+	return f, nil
+}
+
+// dispatch fans received frames to the application handler, intercepting
+// redirects.
+func (f *fedConn) dispatch(m protocol.Message) {
+	if r, ok := m.(protocol.NodeRedirect); ok {
+		select {
+		case f.kick <- int(r.Node):
+		default: // a redirect is already queued; one is enough
+		}
+		return
+	}
+	f.handler.HandleServerMessage(m)
+}
+
+func (f *fedConn) current() (*nettcp.Client, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur, f.curNode
+}
+
+// supervise keeps the connection attached to the owning node for the
+// client's lifetime.
+func (f *fedConn) supervise() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	for {
+		cur, curNode := f.current()
+		var connDied <-chan struct{}
+		if cur != nil {
+			connDied = cur.Done()
+		}
+		select {
+		case <-f.done:
+			return
+		case n := <-f.kick:
+			// The server knows better than our partition arithmetic (it
+			// already handed our state to n); no flush needed.
+			if n != curNode {
+				f.migrate(n, false)
+			}
+		case <-connDied:
+			f.redial()
+		case <-t.C:
+			if cur == nil {
+				f.redial()
+				continue
+			}
+			if f.track {
+				if owner := f.part.NodeOf(f.pos()); owner != curNode {
+					f.migrate(owner, true)
+				}
+			}
+		}
+	}
+}
+
+// migrate swaps the attachment to another node. flush sends a final
+// LocationReport on the old connection first: its kinematics prove the
+// boundary crossing to the old node, which hands our state to the owner
+// BEFORE seeing the disconnect — so the disconnect purges nothing.
+func (f *fedConn) migrate(to int, flush bool) {
+	if to < 0 || to >= len(f.addrs) {
+		return
+	}
+	cl, err := nettcp.Dial(f.addrs[to], f.id, transport.ClientHandlerFunc(f.dispatch))
+	if err != nil {
+		return // stay put; the next tick or redirect retries
+	}
+	f.mu.Lock()
+	old := f.cur
+	if f.closed {
+		f.mu.Unlock()
+		cl.Close()
+		return
+	}
+	if flush && old != nil {
+		old.Uplink(protocol.LocationReport{Object: f.id, Pos: f.pos(), At: f.now()})
+	}
+	f.cur, f.curNode = cl, to
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// redial re-attaches after a dead connection (node crash or restart):
+// aim at the position's owner and keep trying at tick cadence.
+func (f *fedConn) redial() {
+	owner := f.part.NodeOf(f.pos())
+	cl, err := nettcp.Dial(f.addrs[owner], f.id, transport.ClientHandlerFunc(f.dispatch))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		if err == nil {
+			cl.Close()
+		}
+		return
+	}
+	if old := f.cur; old != nil {
+		f.cur = nil
+		go old.Close() // fully dead already; Close only reaps the loop
+	}
+	if err != nil {
+		return // supervise retries on the next tick
+	}
+	f.cur, f.curNode = cl, owner
+}
+
+// Uplink implements transport.ClientSide. During a re-attachment gap the
+// frame is dropped — the protocol is loss-tolerant by design, and the
+// state machines heal through reinstalls and resyncs.
+func (f *fedConn) Uplink(m protocol.Message) {
+	f.mu.Lock()
+	cur := f.cur
+	f.mu.Unlock()
+	if cur != nil {
+		cur.Uplink(m)
+	}
+}
+
+// Close detaches permanently.
+func (f *fedConn) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	cur := f.cur
+	f.cur = nil
+	f.mu.Unlock()
+	close(f.done)
+	var err error
+	if cur != nil {
+		err = cur.Close()
+	}
+	f.wg.Wait()
+	return err
+}
+
+var _ clientConn = (*fedConn)(nil)
+
+// DialObjectCluster connects object id to a multi-process federation:
+// addrs lists every node's client address in node-id order. The client
+// attaches to the node owning its position and follows it across strip
+// boundaries. pos is the client's position sensor.
+func DialObjectCluster(addrs []string, id ObjectID, pos func() Point, opts FederationClientOptions) (*ObjectClient, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	oc := &ObjectClient{done: make(chan struct{})}
+	cfg := opts.Protocol.internal().WithWorldDefault(opts.World.internal())
+	now := wallClock(opts.TickInterval)
+	conn, err := newFedConn(addrs, model.ObjectID(id), func() geo.Point { return pos().internal() },
+		opts, true, transport.ClientHandlerFunc(func(m protocol.Message) {
+			if a := oc.agent.Load(); a != nil {
+				a.HandleServerMessage(m)
+			}
+		}))
+	if err != nil {
+		return nil, err
+	}
+	agent, err := core.NewObjectAgent(cfg, core.AgentDeps{
+		ID:           model.ObjectID(id),
+		Side:         conn,
+		Now:          now,
+		Pos:          func() geo.Point { return pos().internal() },
+		DT:           opts.TickInterval.Seconds(),
+		LatencyTicks: 2, // match the federation's delivery bound
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	oc.conn = conn
+	oc.agent.Store(agent)
+	oc.ticker = time.NewTicker(opts.TickInterval)
+	oc.wg.Add(1)
+	go func() {
+		defer oc.wg.Done()
+		for {
+			select {
+			case <-oc.done:
+				return
+			case <-oc.ticker.C:
+				agent.Tick(now())
+			}
+		}
+	}()
+	return oc, nil
+}
+
+// DialQueryCluster connects a focal client to a multi-process federation
+// and registers a k-NN query. The query registers at the node owning the
+// focal position; when the monitor migrates across a strip boundary, the
+// new home redirects this client transparently. Parameters are as in
+// DialQuery, with addrs listing every node's client address in node-id
+// order.
+func DialQueryCluster(addrs []string, clientID ObjectID, query QueryID, k int,
+	pos func() Point, vel func() Vector, onAnswer func(Answer),
+	opts FederationClientOptions) (*QueryClient, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	qc := &QueryClient{done: make(chan struct{})}
+	cfg := opts.Protocol.internal().WithWorldDefault(opts.World.internal())
+	now := wallClock(opts.TickInterval)
+	conn, err := newFedConn(addrs, model.ObjectID(clientID), func() geo.Point { return pos().internal() },
+		opts, false, transport.ClientHandlerFunc(func(m protocol.Message) {
+			if a := qc.agent.Load(); a != nil {
+				a.HandleServerMessage(m)
+			}
+		}))
+	if err != nil {
+		return nil, err
+	}
+	agent, err := core.NewQueryAgent(cfg,
+		model.QuerySpec{ID: model.QueryID(query), K: k, Pos: pos().internal()},
+		core.QueryAgentDeps{
+			AgentDeps: core.AgentDeps{
+				ID:           model.ObjectID(clientID),
+				Side:         conn,
+				Now:          now,
+				Pos:          func() geo.Point { return pos().internal() },
+				DT:           opts.TickInterval.Seconds(),
+				LatencyTicks: 2, // match the federation's delivery bound
+			},
+			Vel: func() geo.Vector { return vel().internal() },
+		})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if onAnswer != nil {
+		agent.OnAnswer = func(a model.Answer) { onAnswer(fromAnswer(a)) }
+	}
+	qc.conn = conn
+	qc.agent.Store(agent)
+	qc.ticker = time.NewTicker(opts.TickInterval)
+	qc.wg.Add(1)
+	go func() {
+		defer qc.wg.Done()
+		for {
+			select {
+			case <-qc.done:
+				return
+			case <-qc.ticker.C:
+				agent.Tick(now())
+			}
+		}
+	}()
+	return qc, nil
+}

@@ -1,0 +1,684 @@
+package cluster
+
+import (
+	"slices"
+	"sync"
+	"time"
+
+	"dmknn/internal/core"
+	"dmknn/internal/geo"
+	"dmknn/internal/model"
+	"dmknn/internal/obs"
+	"dmknn/internal/protocol"
+	"dmknn/internal/transport"
+)
+
+// MemberDeps wires a Member to its environment.
+type MemberDeps struct {
+	// Link carries inter-node messages (a TCPLink in a real deployment).
+	// The Member installs itself as the delivery handler.
+	Link Link
+	// Radio is the node's client-facing send surface (the nettcp/netudp
+	// server side). Broadcasts reach only the clients attached to THIS
+	// node, which is why attachment must converge to the position owner
+	// (see NodeRedirect below).
+	Radio transport.ServerSide
+	// ClientAddrs holds every node's client listen address, indexed by
+	// node id; NodeRedirect downlinks carry them to steer mis-attached
+	// clients to their position's owner.
+	ClientAddrs []string
+	// Now is the shared clock (wall-derived; the processes of one
+	// federation must be clock-synchronized to a fraction of a tick).
+	Now func() model.Tick
+	// The remaining fields mirror core.ServerDeps. LatencyTicks must
+	// budget the radio round trip plus one link hop (2 in a deployment).
+	DT             float64
+	MaxObjectSpeed float64
+	MaxQuerySpeed  float64
+	LatencyTicks   int
+	// Trace, when non-nil, receives lifecycle events stamped with this
+	// node's id. Must be safe for concurrent use.
+	Trace obs.Sink
+}
+
+// Member is ONE node of a multi-process federation: the counterpart of
+// the in-process Cluster when every node runs in its own process and the
+// home/attachment maps can no longer be shared memory. It owns a
+// core.Server for its strip of the partition and stitches it to the
+// other nodes over the Link with the same protocol kinds 16–22 the
+// in-process federation proved out, plus NodeRedirect on the client wire.
+//
+// The fundamental difference from Cluster: a TCP radio is not
+// positional. A wireless broadcast reaches whatever is physically inside
+// the cells; a nettcp broadcast reaches whatever is CONNECTED. So a
+// client must stay attached to the node owning its position, and three
+// mechanisms converge it there:
+//
+//   - clients of a federation derive the owner from the static partition
+//     and dial it directly (and re-dial when their own movement crosses a
+//     strip boundary, flushing a final report on the old connection so
+//     the old node hands their state off before the disconnect);
+//   - any uplink whose kinematics place the sender in another node's
+//     strip triggers an ObjectHandoff to the owner plus a NodeRedirect
+//     downlink carrying the owner's client address;
+//   - a query monitor that migrates (QueryHandoff) redirects its focal
+//     client to the new home in the same breath.
+//
+// A disconnect purges client state only when this node still believes it
+// is the client's home; a redirect-induced disconnect (home already
+// flipped) purges nothing, so live state is never destroyed by routine
+// re-attachment.
+//
+// All state transitions run under one mutex: radio uplinks, link
+// deliveries, and the tick loop serialize through it, and the inner
+// server's send callbacks (memberSide) run while it is held. Sends
+// themselves (radio, link) are non-blocking-by-deadline, so the lock is
+// never held indefinitely.
+type Member struct {
+	part Partition
+	id   int
+	cfg  core.Config
+	deps MemberDeps
+
+	mu     sync.Mutex
+	server *core.Server
+
+	// attach marks clients currently connected to this node's radio.
+	attach map[model.ObjectID]bool
+	// home is this node's belief of which node serves each known client.
+	home map[model.ObjectID]int
+	// local/remote/spread/aware/awareByQ/pending mirror the in-process
+	// node's routing state (see cluster.go); the semantics are identical.
+	local    map[model.QueryID]bool
+	remote   map[model.QueryID]int
+	spread   map[model.QueryID]map[int]bool
+	aware    map[model.ObjectID]map[model.QueryID]int
+	awareByQ map[model.QueryID]map[model.ObjectID]bool
+	pending  map[model.QueryID]*pendingHandoff
+
+	stats     Stats
+	redirects uint64
+}
+
+// NewMember builds node id of the partition's federation and installs it
+// as the link's delivery consumer. The caller attaches it as the radio's
+// server handler and drives Tick/Finalize.
+func NewMember(part Partition, id int, cfg core.Config, deps MemberDeps) (*Member, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Member{
+		part:     part,
+		id:       id,
+		cfg:      cfg,
+		deps:     deps,
+		attach:   make(map[model.ObjectID]bool),
+		home:     make(map[model.ObjectID]int),
+		local:    make(map[model.QueryID]bool),
+		remote:   make(map[model.QueryID]int),
+		spread:   make(map[model.QueryID]map[int]bool),
+		aware:    make(map[model.ObjectID]map[model.QueryID]int),
+		awareByQ: make(map[model.QueryID]map[model.ObjectID]bool),
+		pending:  make(map[model.QueryID]*pendingHandoff),
+	}
+	srv, err := core.NewServer(cfg, core.ServerDeps{
+		Side:           memberSide{m},
+		Now:            deps.Now,
+		DT:             deps.DT,
+		MaxObjectSpeed: deps.MaxObjectSpeed,
+		MaxQuerySpeed:  deps.MaxQuerySpeed,
+		LatencyTicks:   deps.LatencyTicks,
+		Trace:          obs.WithNode(deps.Trace, int16(id)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.server = srv
+	if ol, ok := deps.Link.(interface {
+		OnDeliver(func(from, to int, m protocol.Message))
+	}); ok {
+		ol.OnDeliver(m.HandleLink)
+	}
+	return m, nil
+}
+
+// Node returns this member's node id.
+func (m *Member) Node() int { return m.id }
+
+// Partition returns the shared spatial decomposition.
+func (m *Member) Partition() Partition { return m.part }
+
+// Server returns the inner core server (for inspection).
+func (m *Member) Server() *core.Server { return m.server }
+
+// Stats returns the federation event counters.
+func (m *Member) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Redirects returns how many NodeRedirect downlinks this node has sent.
+func (m *Member) Redirects() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.redirects
+}
+
+// AttachedCount returns the number of clients attached to this node.
+func (m *Member) AttachedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.attach)
+}
+
+// LocalQueries returns how many query monitors are homed at this node.
+func (m *Member) LocalQueries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.local)
+}
+
+func (m *Member) now() model.Tick { return m.deps.Now() }
+
+func (m *Member) emit(e obs.Event) {
+	if m.deps.Trace == nil {
+		return
+	}
+	e.At = m.now()
+	e.Node = int16(m.id)
+	e.Dir = -1
+	m.deps.Trace.Record(e)
+}
+
+// ---------------------------------------------------------------------------
+// serverCore surface (what the deployment shell drives)
+
+// Tick advances the node one step: retry and initiate query migrations,
+// then run the inner server's tick. Link traffic needs no flushing — the
+// TCP link delivers push-style from its read goroutines.
+func (m *Member) Tick(now model.Tick) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migrateQueries(now)
+	m.server.Tick(now)
+}
+
+// Finalize settles intra-tick probe conversations.
+func (m *Member) Finalize(now model.Tick) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.server.Finalize(now)
+}
+
+// Answer returns the inner server's current answer for a local query.
+func (m *Member) Answer(q model.QueryID) model.Answer { return m.server.Answer(q) }
+
+// QueryCount returns the number of locally homed queries.
+func (m *Member) QueryCount() int { return m.server.QueryCount() }
+
+// BusyTime returns the inner server's cumulative tick-processing time.
+func (m *Member) BusyTime() time.Duration { return m.server.BusyTime() }
+
+// ---------------------------------------------------------------------------
+// Radio uplink handling
+
+// HandleUplink implements transport.ServerHandler for this node's radio:
+// every frame from an attached client enters the federation here.
+func (m *Member) HandleUplink(from model.ObjectID, msg protocol.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attach[from] = true
+	if _, known := m.home[from]; !known {
+		m.home[from] = m.id
+	}
+	m.routeUplink(from, msg, 0, true)
+}
+
+// routeUplink processes one client uplink at this node, forwarded hops
+// times so far; attached marks frames that arrived on this node's own
+// radio (only those may trigger handoff/redirect — a relayed frame's
+// sender belongs to another node's radio).
+func (m *Member) routeUplink(from model.ObjectID, msg protocol.Message, hops int, attached bool) {
+	// Boundary detection, as in the in-process cluster: the sender's own
+	// report proves it belongs to another strip. Hand its state off and
+	// steer its connection there, but still process the report here — the
+	// report that crossed the boundary is never lost.
+	if pos, vel, at, ok := uplinkKinematics(msg); ok && attached && m.home[from] == m.id {
+		if owner := m.part.NodeOf(pos); owner != m.id {
+			m.handoffObject(from, owner, pos, vel, at)
+			m.redirect(from, owner)
+		}
+	}
+	if reg, ok := msg.(protocol.QueryRegister); ok {
+		owner := m.part.NodeOf(reg.Pos)
+		if owner != m.id {
+			if hops < maxRelayHops {
+				m.relay(owner, from, msg, hops)
+			}
+			if attached {
+				m.home[from] = owner
+				m.redirect(from, owner)
+			}
+			return
+		}
+		m.server.HandleUplink(from, msg)
+		if m.server.HasQuery(reg.Query) {
+			m.local[reg.Query] = true
+		}
+		return
+	}
+	q, ok := uplinkQuery(msg)
+	if !ok {
+		// Query-less kinds (LocationReport) only matter for the boundary
+		// detection above; the server drops them like the single server.
+		m.server.HandleUplink(from, msg)
+		return
+	}
+	switch home, known := m.remote[q]; {
+	case m.local[q]:
+		m.server.HandleUplink(from, msg)
+		if _, gone := msg.(protocol.QueryDeregister); gone {
+			m.finishTeardown(q)
+		}
+	case known:
+		if hops >= maxRelayHops {
+			m.stats.RelayDrops++
+			m.emit(obs.Event{Type: obs.EvRelayDropped, Query: q, Object: from, Kind: msg.Kind()})
+			return
+		}
+		m.relay(home, from, msg, hops)
+		if attached && m.home[from] == m.id {
+			m.noteAware(from, q, home, msg)
+		}
+	default:
+		// Unknown query: the node owning the reported position (or its
+		// remote table) knows more.
+		if pos, _, _, ok := uplinkKinematics(msg); ok && hops < maxRelayHops {
+			if owner := m.part.NodeOf(pos); owner != m.id {
+				m.relay(owner, from, msg, hops)
+				return
+			}
+		}
+		m.stats.RelayDrops++
+		m.emit(obs.Event{Type: obs.EvRelayDropped, Query: q, Object: from, Kind: msg.Kind()})
+	}
+}
+
+func (m *Member) relay(to int, origin model.ObjectID, msg protocol.Message, hops int) {
+	m.deps.Link.Send(m.id, to, protocol.NodeRelay{
+		Origin: origin,
+		Hops:   uint8(hops + 1),
+		Inner:  msg,
+	})
+}
+
+// redirect steers an attached client to the node owning its position.
+// The client reconnects there; the disconnect this causes here finds
+// home != self and purges nothing.
+func (m *Member) redirect(id model.ObjectID, to int) {
+	if to < 0 || to >= len(m.deps.ClientAddrs) || m.deps.ClientAddrs[to] == "" {
+		return
+	}
+	m.redirects++
+	m.deps.Radio.Downlink(id, protocol.NodeRedirect{
+		Node: uint16(to),
+		Addr: m.deps.ClientAddrs[to],
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Awareness bookkeeping (same semantics as the in-process node's)
+
+func (m *Member) noteAware(id model.ObjectID, q model.QueryID, home int, msg protocol.Message) {
+	switch msg.(type) {
+	case protocol.EnterReport, protocol.ExitReport, protocol.MoveReport:
+		m.setAware(id, q, home)
+	case protocol.LeaveReport:
+		m.clearAware(id, q)
+	}
+}
+
+func (m *Member) setAware(id model.ObjectID, q model.QueryID, home int) {
+	mm := m.aware[id]
+	if mm == nil {
+		mm = make(map[model.QueryID]int)
+		m.aware[id] = mm
+	}
+	mm[q] = home
+	r := m.awareByQ[q]
+	if r == nil {
+		r = make(map[model.ObjectID]bool)
+		m.awareByQ[q] = r
+	}
+	r[id] = true
+}
+
+func (m *Member) clearAware(id model.ObjectID, q model.QueryID) {
+	if mm := m.aware[id]; mm != nil {
+		delete(mm, q)
+		if len(mm) == 0 {
+			delete(m.aware, id)
+		}
+	}
+	if r := m.awareByQ[q]; r != nil {
+		delete(r, id)
+		if len(r) == 0 {
+			delete(m.awareByQ, q)
+		}
+	}
+}
+
+func (m *Member) purgeQuery(q model.QueryID) {
+	delete(m.remote, q)
+	for id := range m.awareByQ[q] {
+		if mm := m.aware[id]; mm != nil {
+			delete(mm, q)
+			if len(mm) == 0 {
+				delete(m.aware, id)
+			}
+		}
+	}
+	delete(m.awareByQ, q)
+}
+
+func (m *Member) finishTeardown(q model.QueryID) {
+	if m.server.HasQuery(q) {
+		return
+	}
+	for _, peer := range sortedNodes(m.spread[q]) {
+		m.deps.Link.Send(m.id, peer, protocol.NodeForward{
+			Home:   uint16(m.id),
+			Region: geo.Circle{R: -1},
+			Inner:  protocol.MonitorCancel{Query: q},
+		})
+	}
+	delete(m.spread, q)
+	delete(m.local, q)
+	delete(m.pending, q)
+	m.purgeQuery(q)
+}
+
+// ---------------------------------------------------------------------------
+// Object handoff
+
+func (m *Member) handoffObject(id model.ObjectID, to int, pos geo.Point, vel geo.Vector, at model.Tick) {
+	m.home[id] = to
+	m.stats.ObjectHandoffs++
+	m.emit(obs.Event{Type: obs.EvObjectHandoffBegun, Object: id, Value: float64(to)})
+	oh := protocol.ObjectHandoff{Object: id, Pos: pos, Vel: vel, At: at}
+	for q, home := range m.aware[id] {
+		oh.Aware = append(oh.Aware, protocol.AwareEntry{Query: q, Home: uint16(home)})
+	}
+	for _, q := range m.server.QueriesInvolving(id) {
+		if _, dup := m.aware[id][q]; !dup {
+			oh.Aware = append(oh.Aware, protocol.AwareEntry{Query: q, Home: uint16(m.id)})
+		}
+	}
+	slices.SortFunc(oh.Aware, func(a, b protocol.AwareEntry) int {
+		return int(a.Query) - int(b.Query)
+	})
+	if mm := m.aware[id]; mm != nil {
+		for q := range mm {
+			m.clearAware(id, q)
+		}
+	}
+	m.deps.Link.Send(m.id, to, oh)
+}
+
+func (m *Member) handleObjectHandoff(v protocol.ObjectHandoff) {
+	// The sender routed by the object's reported position, which this
+	// node owns: adopt the client. If it has already moved on, its next
+	// report triggers the next hop of the chain.
+	m.home[v.Object] = m.id
+	for _, a := range v.Aware {
+		if int(a.Home) == m.id && m.local[a.Query] {
+			continue // resolves through the local table, not a relay
+		}
+		m.setAware(v.Object, a.Query, int(a.Home))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query migration
+
+// migrateQueries runs in the tick's serial phase: any local query whose
+// dead-reckoned focal track left this strip is exported and shipped to
+// the owner, the focal client is redirected there, and unacked exports
+// are retried. The retry gap is in ticks of real time; one tick covers a
+// loopback round trip many times over.
+func (m *Member) migrateQueries(now model.Tick) {
+	for _, q := range sortedQueries(m.local) {
+		est, ok := m.server.QueryEstimate(q, now)
+		if !ok {
+			delete(m.local, q)
+			continue
+		}
+		dest := m.part.NodeOf(est)
+		if dest == m.id {
+			continue
+		}
+		st, ok := m.server.ExportMonitor(q)
+		if !ok {
+			continue // probe in flight; retry next tick
+		}
+		qh := st.ExportState()
+		for _, peer := range sortedNodes(m.spread[q]) {
+			if peer != dest {
+				qh.Spread = append(qh.Spread, uint16(peer))
+			}
+		}
+		delete(m.local, q)
+		delete(m.spread, q)
+		// Late reports still arrive here; relay them onward like any
+		// other remote query.
+		m.remote[q] = dest
+		m.home[st.Addr] = dest
+		m.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
+		m.deps.Link.Send(m.id, dest, qh)
+		m.stats.QueryHandoffs++
+		m.emit(obs.Event{Type: obs.EvQueryHandoffBegun, Query: q, Seq: qh.AnswerSeq, Value: float64(dest)})
+		if m.attach[st.Addr] {
+			m.redirect(st.Addr, dest)
+		}
+	}
+	for _, q := range sortedPending(m.pending) {
+		p := m.pending[q]
+		if now-p.sentAt >= 1 {
+			p.sentAt = now
+			m.deps.Link.Send(m.id, p.to, p.msg)
+		}
+	}
+}
+
+func (m *Member) handleQueryHandoff(from int, v protocol.QueryHandoff) {
+	q := v.Query
+	if m.local[q] {
+		m.deps.Link.Send(m.id, from, protocol.QueryHandoffAck{Query: q})
+		return
+	}
+	m.server.ImportMonitor(core.ImportState(v), m.now())
+	if m.server.HasQuery(q) {
+		m.purgeQuery(q)
+		m.local[q] = true
+		m.home[v.Addr] = m.id
+		sp := m.spread[q]
+		if sp == nil {
+			sp = make(map[int]bool)
+			m.spread[q] = sp
+		}
+		for _, peer := range v.Spread {
+			if int(peer) != m.id {
+				sp[int(peer)] = true
+			}
+		}
+		sp[from] = true
+	}
+	m.deps.Link.Send(m.id, from, protocol.QueryHandoffAck{Query: q})
+}
+
+// ---------------------------------------------------------------------------
+// Link delivery
+
+// HandleLink consumes inter-node messages; NewMember installs it as the
+// link's delivery handler, and the TCP link invokes it from peer read
+// goroutines.
+func (m *Member) HandleLink(from, to int, msg protocol.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch v := msg.(type) {
+	case protocol.NodeForward:
+		m.handleForward(from, v)
+	case protocol.NodeRelay:
+		m.routeUplink(v.Origin, v.Inner, int(v.Hops), false)
+	case protocol.NodeDeliver:
+		// Deliver if the client is attached here, else drop: forwarding
+		// on a possibly-stale home belief risks ping-pong between nodes,
+		// and a lost downlink is healed by the resync path.
+		if m.attach[v.To] {
+			m.deps.Radio.Downlink(v.To, v.Inner)
+		}
+	case protocol.ObjectHandoff:
+		m.handleObjectHandoff(v)
+	case protocol.QueryHandoff:
+		m.handleQueryHandoff(from, v)
+	case protocol.QueryHandoffAck:
+		if _, waiting := m.pending[v.Query]; waiting {
+			m.emit(obs.Event{Type: obs.EvHandoffAcked, Query: v.Query})
+		}
+		delete(m.pending, v.Query)
+	case protocol.NodeClientGone:
+		m.server.HandleClientGone(v.Object)
+		for q := range cloneQuerySet(m.aware[v.Object]) {
+			m.clearAware(v.Object, q)
+		}
+	}
+}
+
+// handleForward applies a peer's broadcast: learn (or forget) the remote
+// query's home, then rebroadcast to this node's attached clients. The
+// client-side state machines filter by the region carried in the
+// message, exactly as for a local broadcast.
+func (m *Member) handleForward(from int, v protocol.NodeForward) {
+	switch inner := v.Inner.(type) {
+	case protocol.ProbeRequest:
+		if !m.local[inner.Query] {
+			m.remote[inner.Query] = from
+		}
+	case protocol.MonitorInstall:
+		if !m.local[inner.Query] {
+			m.remote[inner.Query] = from
+		}
+	case protocol.MonitorCancel:
+		m.purgeQuery(inner.Query)
+	default:
+		return // decode layer prevents this; defense in depth
+	}
+	if v.Region.R >= 0 {
+		m.deps.Radio.Broadcast(v.Region, v.Inner)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Disconnect handling
+
+// HandleClientGone implements transport.DisconnectHandler for this
+// node's radio. The crucial federation rule: purge only when this node
+// still believes it is the client's home. A disconnect caused by a
+// redirect or handoff (home already flipped to the owner) must destroy
+// nothing — the client is alive and re-attaching elsewhere.
+func (m *Member) HandleClientGone(id model.ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.attach, id)
+	if m.home[id] != m.id {
+		return
+	}
+	delete(m.home, id)
+	homes := make(map[int]bool)
+	for _, home := range m.aware[id] {
+		homes[home] = true
+	}
+	m.server.HandleClientGone(id)
+	for _, q := range sortedQueries(m.local) {
+		if !m.server.HasQuery(q) {
+			m.finishTeardown(q)
+		}
+	}
+	for q := range cloneQuerySet(m.aware[id]) {
+		m.clearAware(id, q)
+	}
+	for _, home := range sortedNodes(homes) {
+		if home == m.id {
+			continue
+		}
+		m.deps.Link.Send(m.id, home, protocol.NodeClientGone{Object: id})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The server's send surface
+
+// memberSide is the transport.ServerSide the inner core.Server sends
+// through. It runs only while the Member's mutex is held (every entry
+// into the server holds it), so it reads the routing state directly.
+type memberSide struct{ m *Member }
+
+func (s memberSide) Downlink(to model.ObjectID, msg protocol.Message) {
+	m := s.m
+	if m.attach[to] {
+		m.deps.Radio.Downlink(to, msg)
+		return
+	}
+	if home, ok := m.home[to]; ok && home != m.id {
+		m.deps.Link.Send(m.id, home, protocol.NodeDeliver{To: to, Inner: msg})
+		return
+	}
+	// Not attached and no better belief: send on the radio anyway (the
+	// transport meters it as a drop if the client is truly absent).
+	m.deps.Radio.Downlink(to, msg)
+}
+
+func (s memberSide) Broadcast(region geo.Circle, msg protocol.Message) {
+	m := s.m
+	m.deps.Radio.Broadcast(region, msg)
+	q, cancel, ok := broadcastQuery(msg)
+	if !ok {
+		return
+	}
+	var targets []int
+	m.part.VisitIntersecting(region, func(peer int) {
+		if peer != m.id {
+			targets = append(targets, peer)
+		}
+	})
+	if cancel {
+		for _, peer := range sortedNodes(m.spread[q]) {
+			if peer != m.id && !slices.Contains(targets, peer) {
+				targets = append(targets, peer)
+			}
+		}
+		slices.Sort(targets)
+		delete(m.spread, q)
+	}
+	for _, peer := range targets {
+		m.deps.Link.Send(m.id, peer, protocol.NodeForward{
+			Home:   uint16(m.id),
+			Region: region,
+			Inner:  msg,
+		})
+		if !cancel {
+			sp := m.spread[q]
+			if sp == nil {
+				sp = make(map[int]bool)
+				m.spread[q] = sp
+			}
+			sp[peer] = true
+		}
+	}
+}
+
+var (
+	_ transport.ServerHandler     = (*Member)(nil)
+	_ transport.DisconnectHandler = (*Member)(nil)
+)

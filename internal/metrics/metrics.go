@@ -56,6 +56,7 @@ type Counters struct {
 	sentBytes [numDirections][maxKind]uint64
 	delivered [numDirections]uint64
 	dropped   [numDirections]uint64
+	evicted   uint64
 }
 
 // RecordSend notes that one message of the given kind and size was sent in
@@ -71,6 +72,14 @@ func (c *Counters) RecordDeliver(d Direction) { c.delivered[d]++ }
 
 // RecordDrop notes a message lost in transit.
 func (c *Counters) RecordDrop(d Direction) { c.dropped[d]++ }
+
+// RecordEviction notes a client connection the transport terminated for
+// liveness reasons: a handshake that never completed, a stalled reader
+// that head-of-line-blocked writes, or an idle session reaped by policy.
+func (c *Counters) RecordEviction() { c.evicted++ }
+
+// Evictions returns the number of liveness evictions recorded.
+func (c *Counters) Evictions() uint64 { return c.evicted }
 
 // Sent returns the number of messages sent in direction d (all kinds).
 func (c *Counters) Sent(d Direction) uint64 {
@@ -115,6 +124,7 @@ func (c *Counters) Diff(older Counters) Counters {
 		out.delivered[d] = c.delivered[d] - older.delivered[d]
 		out.dropped[d] = c.dropped[d] - older.dropped[d]
 	}
+	out.evicted = c.evicted - older.evicted
 	return out
 }
 

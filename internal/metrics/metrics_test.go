@@ -259,3 +259,23 @@ func TestSeriesMerge(t *testing.T) {
 		t.Error("merging empty series changed length")
 	}
 }
+
+func TestEvictionCounter(t *testing.T) {
+	var c Counters
+	if c.Evictions() != 0 {
+		t.Fatal("fresh counters report evictions")
+	}
+	c.RecordEviction()
+	c.RecordEviction()
+	if c.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Evictions())
+	}
+	snap := c.Snapshot()
+	c.RecordEviction()
+	if d := c.Diff(snap); d.Evictions() != 1 {
+		t.Fatalf("diff evictions = %d, want 1", d.Evictions())
+	}
+	if snap.Evictions() != 2 {
+		t.Fatal("snapshot not isolated from later evictions")
+	}
+}

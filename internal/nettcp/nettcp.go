@@ -26,6 +26,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dmknn/internal/geo"
 	"dmknn/internal/grid"
@@ -47,6 +49,36 @@ const maxFrame = 1 << 20
 // ErrBadHandshake reports a connection that did not start with the
 // expected magic/version.
 var ErrBadHandshake = errors.New("nettcp: bad handshake")
+
+// Config tunes the server's liveness behavior. The zero value takes the
+// defaults below.
+type Config struct {
+	// WriteTimeout bounds every frame write to one client. A connection
+	// whose reader has stalled (full TCP window, dead peer behind a
+	// half-open socket) fails the write at the deadline and is evicted,
+	// instead of head-of-line-blocking every broadcast fan-out behind it.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// present its handshake bytes; a connection that sends nothing is
+	// closed at the deadline instead of pinning its goroutine forever.
+	HandshakeTimeout time.Duration
+}
+
+// Liveness defaults.
+const (
+	DefaultWriteTimeout     = 5 * time.Second
+	DefaultHandshakeTimeout = 3 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	return c
+}
 
 func writeFrame(w io.Writer, m protocol.Message) error {
 	payload := protocol.Encode(nil, m)
@@ -84,6 +116,7 @@ func readFrame(r io.Reader) (protocol.Message, error) {
 type Server struct {
 	ln   net.Listener
 	geom grid.Geometry
+	cfg  Config
 
 	mu      sync.Mutex
 	conns   map[model.ObjectID]*serverConn
@@ -95,14 +128,21 @@ type Server struct {
 }
 
 type serverConn struct {
-	id model.ObjectID
-	c  net.Conn
-	wm sync.Mutex // serializes frame writes
+	id       model.ObjectID
+	c        net.Conn
+	wm       sync.Mutex   // serializes frame writes
+	lastSeen atomic.Int64 // unix nanos of the last frame read (or handshake)
 }
 
-// Listen starts a server on addr ("host:port"; ":0" picks a free port).
-// geom defines the broadcast cell layout used for traffic accounting.
+// Listen starts a server on addr ("host:port"; ":0" picks a free port)
+// with default liveness settings. geom defines the broadcast cell layout
+// used for traffic accounting.
 func Listen(addr string, geom grid.Geometry) (*Server, error) {
+	return ListenConfig(addr, geom, Config{})
+}
+
+// ListenConfig starts a server with explicit liveness settings.
+func ListenConfig(addr string, geom grid.Geometry, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("nettcp: listen: %w", err)
@@ -110,6 +150,7 @@ func Listen(addr string, geom grid.Geometry) (*Server, error) {
 	return &Server{
 		ln:    ln,
 		geom:  geom,
+		cfg:   cfg.withDefaults(),
 		conns: make(map[model.ObjectID]*serverConn),
 	}, nil
 }
@@ -176,10 +217,20 @@ func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	id, err := s.handshake(c)
 	if err != nil {
+		// A connection that presented nothing until the deadline pinned
+		// this goroutine for the whole timeout; meter the eviction so
+		// operators can see dial-and-stall behavior (port scans, broken
+		// clients) distinctly from protocol garbage.
+		if isTimeout(err) {
+			s.mu.Lock()
+			s.metered.RecordEviction()
+			s.mu.Unlock()
+		}
 		c.Close()
 		return
 	}
 	sc := &serverConn{id: id, c: c}
+	sc.lastSeen.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	if old, ok := s.conns[id]; ok {
 		old.c.Close() // a reconnect replaces the previous session
@@ -211,6 +262,7 @@ func (s *Server) serveConn(c net.Conn) {
 		if err != nil {
 			return
 		}
+		sc.lastSeen.Store(time.Now().UnixNano())
 		s.mu.Lock()
 		h := s.handler
 		s.metered.RecordSend(metrics.Uplink, msg.Kind(), protocol.EncodedSize(msg))
@@ -222,7 +274,14 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
+// handshake reads the fixed 9-byte client hello under the handshake
+// deadline, so a connection that sends nothing cannot pin its goroutine
+// indefinitely. The deadline is cleared before returning; the steady
+// state read loop has no read deadline (clients are legitimately silent
+// for long stretches).
 func (s *Server) handshake(c net.Conn) (model.ObjectID, error) {
+	c.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	defer c.SetReadDeadline(time.Time{})
 	var buf [9]byte
 	if _, err := io.ReadFull(c, buf[:]); err != nil {
 		return 0, err
@@ -231,6 +290,37 @@ func (s *Server) handshake(c net.Conn) (model.ObjectID, error) {
 		return 0, ErrBadHandshake
 	}
 	return model.ObjectID(binary.LittleEndian.Uint32(buf[5:9])), nil
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// ReapIdle closes every client connection whose last inbound frame is
+// older than maxIdle, returning how many were evicted. The read loops
+// observe the close and emit the usual ClientGone notifications, so the
+// attached handler purges reaped clients exactly like disconnected ones.
+// Deployments with legitimately silent clients should size maxIdle well
+// above the protocol's reporting horizon, or not call this at all.
+func (s *Server) ReapIdle(maxIdle time.Duration) int {
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	s.mu.Lock()
+	var victims []*serverConn
+	for _, sc := range s.conns {
+		if sc.lastSeen.Load() < cutoff {
+			victims = append(victims, sc)
+		}
+	}
+	for range victims {
+		s.metered.RecordEviction()
+	}
+	s.mu.Unlock()
+	for _, sc := range victims {
+		sc.c.Close()
+	}
+	return len(victims)
 }
 
 // Side returns the sending surface for the query-processing logic.
@@ -293,10 +383,27 @@ func (t tcpServerSide) Broadcast(region geo.Circle, m protocol.Message) {
 	}
 }
 
+// write sends one frame under the connection's write mutex with the
+// configured write deadline. A client whose reader has stalled (full TCP
+// window) fails the write at the deadline; the connection is closed so
+// the read loop exits and the normal gone path purges the client —
+// without the deadline one stalled client would hold wm forever and
+// head-of-line-block every broadcast fan-out behind it.
 func (t tcpServerSide) write(sc *serverConn, m protocol.Message) error {
 	sc.wm.Lock()
 	defer sc.wm.Unlock()
-	return writeFrame(sc.c, m)
+	sc.c.SetWriteDeadline(time.Now().Add(t.s.cfg.WriteTimeout))
+	err := writeFrame(sc.c, m)
+	sc.c.SetWriteDeadline(time.Time{})
+	if err != nil {
+		if isTimeout(err) {
+			t.s.mu.Lock()
+			t.s.metered.RecordEviction()
+			t.s.mu.Unlock()
+		}
+		sc.c.Close()
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +477,10 @@ func (cl *Client) Uplink(m protocol.Message) {
 		cl.c.Close()
 	}
 }
+
+// Done is closed when the read loop exits — after the server closed the
+// connection, a transport error, or Close. Reconnect loops select on it.
+func (cl *Client) Done() <-chan struct{} { return cl.done }
 
 // Err returns the first transport error observed, if any.
 func (cl *Client) Err() error {

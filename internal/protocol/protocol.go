@@ -108,6 +108,22 @@ const (
 	// disconnected client to purge the client from its monitor state.
 	KindNodeClientGone
 
+	// The remaining kinds are the peer wire of a multi-process
+	// federation: control frames exchanged on the node-to-node TCP
+	// connections (and one downlink steering clients between nodes).
+
+	// KindPeerHello opens a peer connection: it carries the sender's node
+	// id and its view of the cluster size, so a misconfigured peer is
+	// rejected at handshake time instead of corrupting routing later.
+	KindPeerHello
+	// KindPeerHeartbeat keeps an idle peer connection verifiably alive.
+	// Each side sends one per cadence interval; missing several in a row
+	// marks the peer down and tears the connection for a reconnect.
+	KindPeerHeartbeat
+	// KindNodeRedirect tells a client to reconnect to the node owning its
+	// position (carried as that node's client listen address). Downlink.
+	KindNodeRedirect
+
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -134,6 +150,9 @@ var kindNames = map[Kind]string{
 	KindQueryHandoff:    "query-handoff",
 	KindQueryHandoffAck: "query-handoff-ack",
 	KindNodeClientGone:  "node-client-gone",
+	KindPeerHello:       "peer-hello",
+	KindPeerHeartbeat:   "peer-heartbeat",
+	KindNodeRedirect:    "node-redirect",
 }
 
 // String implements fmt.Stringer.
@@ -477,6 +496,47 @@ type NodeClientGone struct {
 // Kind implements Message.
 func (NodeClientGone) Kind() Kind { return KindNodeClientGone }
 
+// ---------------------------------------------------------------------------
+// Peer wire (multi-process federation)
+
+// PeerHello is the first frame on a node-to-node TCP connection, sent by
+// the dialing side after the raw transport handshake. Node identifies the
+// sender; Nodes is its configured cluster size, which the acceptor checks
+// against its own so two differently-partitioned deployments cannot be
+// cross-wired. At is the sender's current tick, a coarse clock-skew
+// sanity signal.
+type PeerHello struct {
+	Node  uint16
+	Nodes uint16
+	At    model.Tick
+}
+
+// Kind implements Message.
+func (PeerHello) Kind() Kind { return KindPeerHello }
+
+// PeerHeartbeat proves a peer connection alive between data frames. At is
+// the sender's current tick.
+type PeerHeartbeat struct {
+	Node uint16
+	At   model.Tick
+}
+
+// Kind implements Message.
+func (PeerHeartbeat) Kind() Kind { return KindPeerHeartbeat }
+
+// NodeRedirect steers a client to the federation node owning its
+// position: Node is the owner's id and Addr its client listen address.
+// The client dials Addr with the same client id (the reconnect replaces
+// its old session) and the protocol state machines continue unchanged —
+// any frame lost in the switchover is healed like ordinary loss.
+type NodeRedirect struct {
+	Node uint16
+	Addr string
+}
+
+// Kind implements Message.
+func (NodeRedirect) Kind() Kind { return KindNodeRedirect }
+
 // validForwardInner reports whether k may ride inside a NodeForward.
 func validForwardInner(k Kind) bool {
 	switch k {
@@ -656,6 +716,17 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendU32(dst, uint32(v.Query))
 	case NodeClientGone:
 		dst = appendU32(dst, uint32(v.Object))
+	case PeerHello:
+		dst = appendU16(dst, v.Node)
+		dst = appendU16(dst, v.Nodes)
+		dst = appendTick(dst, v.At)
+	case PeerHeartbeat:
+		dst = appendU16(dst, v.Node)
+		dst = appendTick(dst, v.At)
+	case NodeRedirect:
+		dst = appendU16(dst, v.Node)
+		dst = appendU16(dst, uint16(len(v.Addr)))
+		dst = append(dst, v.Addr...)
 	default:
 		panic(fmt.Sprintf("protocol: Encode of unknown type %T", m))
 	}
@@ -707,6 +778,12 @@ func EncodedSize(m Message) int {
 		return 1 + 4
 	case NodeClientGone:
 		return 1 + 4
+	case PeerHello:
+		return 1 + 2 + 2 + 8
+	case PeerHeartbeat:
+		return 1 + 2 + 8
+	case NodeRedirect:
+		return 1 + 2 + 2 + len(v.Addr)
 	default:
 		panic(fmt.Sprintf("protocol: EncodedSize of unknown type %T", m))
 	}
@@ -924,6 +1001,12 @@ func Decode(buf []byte) (Message, error) {
 		m = QueryHandoffAck{Query: model.QueryID(r.u32())}
 	case KindNodeClientGone:
 		m = NodeClientGone{Object: model.ObjectID(r.u32())}
+	case KindPeerHello:
+		m = PeerHello{Node: r.u16(), Nodes: r.u16(), At: r.tick()}
+	case KindPeerHeartbeat:
+		m = PeerHeartbeat{Node: r.u16(), At: r.tick()}
+	case KindNodeRedirect:
+		m = NodeRedirect{Node: r.u16(), Addr: r.str()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
@@ -997,6 +1080,16 @@ func (r *reader) bool() bool {
 		return false
 	}
 	return b[0] == 1
+}
+
+// str reads a u16 length prefix and that many bytes as a string.
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
 }
 
 func (r *reader) u8() uint8 {

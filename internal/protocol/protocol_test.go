@@ -70,6 +70,10 @@ func sampleMessages() []Message {
 			Epoch: 1, AnswerRadius: 90.5, Radius: 140}, // probing-era handoff: empty state
 		QueryHandoffAck{Query: 8},
 		NodeClientGone{Object: 45},
+		PeerHello{Node: 2, Nodes: 4, At: 46},
+		PeerHeartbeat{Node: 3, At: 47},
+		NodeRedirect{Node: 1, Addr: "127.0.0.1:7708"},
+		NodeRedirect{Node: 0, Addr: ""}, // address-less redirect (peer known to client)
 	}
 }
 
