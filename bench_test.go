@@ -156,6 +156,14 @@ func BenchmarkFig21Staleness(b *testing.B) {
 	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig21Staleness() })
 }
 
+// BenchmarkFig22AdaptiveBalance regenerates Fig 22: adaptive
+// partitioning vs the static even split under hotspot skew — load CV,
+// server latency tail, applied column moves, and the exactness
+// invariant across the migrating ticks.
+func BenchmarkFig22AdaptiveBalance(b *testing.B) {
+	runExperiment(b, func(p exp.Profile) *exp.Experiment { return p.Fig22AdaptiveBalance() })
+}
+
 // BenchmarkTable2Breakdown regenerates Table 2: message breakdown by kind
 // and direction.
 func BenchmarkTable2Breakdown(b *testing.B) {

@@ -18,7 +18,15 @@
 //
 //	dknnd -node 0 -peers  127.0.0.1:7801,127.0.0.1:7802 \
 //	              -client-addrs 127.0.0.1:7707,127.0.0.1:7708 \
-//	              [-heartbeat 500ms] [-reap 0] ...
+//	              [-heartbeat 500ms] [-reap 0] [-balance] ...
+//
+// -balance enables adaptive partitioning: node 0 observes every node's
+// load (busy time and population, reported over the link), and when the
+// federation skews it moves one boundary grid column at a time between
+// adjacent strips, migrating the affected monitors live. All nodes of a
+// federation must agree on the -balance flags. The current partition map
+// version and this node's owned-column count appear in /stats and under
+// the "dknnd_partition" expvar key.
 //
 // The daemon prints its listen address and, once a second, a one-line
 // status with connected clients and registered queries. Stop with
@@ -79,6 +87,9 @@ func main() {
 	strips := flag.Int("strips", 0, "federation: expected cluster size (0 = derive from -peers; a mismatch is fatal)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "federation: peer keepalive cadence")
 	reap := flag.Duration("reap", 0, "federation: evict clients silent for this long (0 = off)")
+	balanceOn := flag.Bool("balance", false, "federation: enable adaptive partitioning (must match on all nodes)")
+	balanceInterval := flag.Int("balance-interval", 16, "federation: ticks between balance decisions")
+	balanceMinGain := flag.Float64("balance-min-gain", 0.05, "federation: minimum relative imbalance improvement to move a column")
 	flag.Parse()
 
 	proto := dmknn.Protocol{
@@ -107,7 +118,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dknnd: -strips %d but %d peer addresses\n", *strips, len(peerList))
 			os.Exit(1)
 		}
-		ns, err := dmknn.ListenAndServeNode(dmknn.FederationOptions{
+		fopts := dmknn.FederationOptions{
 			World:          worldRect,
 			GridCols:       *gridN,
 			GridRows:       *gridN,
@@ -121,7 +132,12 @@ func main() {
 			Heartbeat:      *heartbeat,
 			IdleReap:       *reap,
 			Trace:          sink,
-		})
+		}
+		if *balanceOn {
+			fopts.BalanceInterval = *balanceInterval
+			fopts.BalanceMinGain = *balanceMinGain
+		}
+		ns, err := dmknn.ListenAndServeNode(fopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dknnd: %v\n", err)
 			os.Exit(1)
@@ -175,6 +191,24 @@ func main() {
 		expvar.Publish("dknnd_stats", expvar.Func(stats))
 		if rec != nil {
 			expvar.Publish("dknnd_trace", expvar.Func(func() any { return rec.Counts() }))
+		}
+		// Federation nodes also expose the live partition map state: the
+		// version, this node's column ownership, and the balancer's
+		// decision/move counters — the fast way to watch adaptive
+		// partitioning converge across a cluster.
+		if ns, ok := srv.(*dmknn.NodeServer); ok {
+			expvar.Publish("dknnd_partition", expvar.Func(func() any {
+				st := ns.Stats()
+				return map[string]any{
+					"version":           st.PartitionVersion,
+					"owned_columns":     st.OwnedColumns,
+					"column_moves":      st.ColumnMoves,
+					"balance_decisions": st.BalanceDecisions,
+					"balance_moves":     st.BalanceMoves,
+					"balance_splits":    st.BalanceSplits,
+					"balance_merges":    st.BalanceMerges,
+				}
+			}))
 		}
 		mux.Handle("/debug/vars", expvar.Handler())
 		go func() {

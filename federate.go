@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"dmknn/internal/balance"
 	"dmknn/internal/cluster"
 	"dmknn/internal/core"
 	"dmknn/internal/geo"
@@ -54,6 +55,15 @@ type FederationOptions struct {
 	// Heartbeat is the peer keepalive cadence (default 500ms; a peer
 	// silent for 3 heartbeats is redialed).
 	Heartbeat time.Duration
+	// BalanceInterval, when > 0, enables adaptive partitioning with a
+	// decision at most every that many ticks: node 0 coordinates
+	// load-aware column moves between adjacent strips, distributed as
+	// versioned partition updates. All nodes of one federation must agree
+	// on this setting (enabled or not).
+	BalanceInterval int
+	// BalanceMinGain is the minimum relative load reduction a column move
+	// must promise (default 0.05); only meaningful with BalanceInterval.
+	BalanceMinGain float64
 	// IdleReap, when > 0, evicts client connections with no inbound
 	// frame for this long. Off by default: objects with no monitors are
 	// legitimately silent indefinitely on TCP.
@@ -139,11 +149,11 @@ func ListenAndServeNode(opts FederationOptions) (*NodeServer, error) {
 	}
 	cfg := opts.Protocol.internal().WithWorldDefault(world)
 	member, err := cluster.NewMember(part, opts.Node, cfg, cluster.MemberDeps{
-		Link:        link,
-		Radio:       tcp.Side(),
-		ClientAddrs: opts.ClientAddrs,
-		Now:         now,
-		DT:          opts.TickInterval.Seconds(),
+		Link:           link,
+		Radio:          tcp.Side(),
+		ClientAddrs:    opts.ClientAddrs,
+		Now:            now,
+		DT:             opts.TickInterval.Seconds(),
 		MaxObjectSpeed: opts.MaxObjectSpeed,
 		MaxQuerySpeed:  opts.MaxQuerySpeed,
 		// A cross-boundary probe pays the radio round trip plus a link
@@ -155,6 +165,12 @@ func ListenAndServeNode(opts FederationOptions) (*NodeServer, error) {
 		link.Close()
 		tcp.Close()
 		return nil, err
+	}
+	if opts.BalanceInterval > 0 {
+		member.EnableBalancer(balance.Config{
+			IntervalTicks: opts.BalanceInterval,
+			MinGain:       opts.BalanceMinGain,
+		})
 	}
 	tcp.AttachHandler(member)
 
@@ -227,6 +243,7 @@ type NodeStats struct {
 	Stats
 	Node           int    `json:"node"`
 	PeersUp        int    `json:"peers_up"`
+	Attached       int    `json:"attached"`
 	LocalQueries   int    `json:"local_queries"`
 	ObjectHandoffs uint64 `json:"object_handoffs"`
 	QueryHandoffs  uint64 `json:"query_handoffs"`
@@ -237,6 +254,15 @@ type NodeStats struct {
 	LinkDelivered  uint64 `json:"link_delivered"`
 	LinkDropped    uint64 `json:"link_dropped"`
 	LinkSentBytes  uint64 `json:"link_sent_bytes"`
+	// Adaptive partitioning (all zero when the balancer is off; the
+	// decision counters are non-zero only on the coordinator).
+	PartitionVersion uint64 `json:"partition_version"`
+	OwnedColumns     int    `json:"owned_columns"`
+	ColumnMoves      uint64 `json:"column_moves"`
+	BalanceDecisions uint64 `json:"balance_decisions"`
+	BalanceMoves     uint64 `json:"balance_moves"`
+	BalanceSplits    uint64 `json:"balance_splits"`
+	BalanceMerges    uint64 `json:"balance_merges"`
 }
 
 // Stats returns current operational counters.
@@ -244,6 +270,7 @@ func (s *NodeServer) Stats() NodeStats {
 	c := s.tcp.Counters()
 	fed := s.member.Stats()
 	ls := s.link.Stats()
+	bs := s.member.BalancerStats()
 	return NodeStats{
 		Stats: Stats{
 			Clients:        s.tcp.ClientCount(),
@@ -258,6 +285,7 @@ func (s *NodeServer) Stats() NodeStats {
 		},
 		Node:           s.node,
 		PeersUp:        s.link.ConnectedCount(),
+		Attached:       s.member.AttachedCount(),
 		LocalQueries:   s.member.LocalQueries(),
 		ObjectHandoffs: fed.ObjectHandoffs,
 		QueryHandoffs:  fed.QueryHandoffs,
@@ -268,6 +296,14 @@ func (s *NodeServer) Stats() NodeStats {
 		LinkDelivered:  ls.Delivered,
 		LinkDropped:    ls.Dropped,
 		LinkSentBytes:  ls.SentBytes,
+
+		PartitionVersion: s.member.PartitionVersion(),
+		OwnedColumns:     s.member.OwnedColumns(),
+		ColumnMoves:      fed.ColumnMoves,
+		BalanceDecisions: bs.Decisions,
+		BalanceMoves:     bs.Moves,
+		BalanceSplits:    bs.Splits,
+		BalanceMerges:    bs.Merges,
 	}
 }
 
@@ -323,10 +359,16 @@ func (o FederationClientOptions) withDefaults() (FederationClientOptions, error)
 // crossed a strip boundary, flushing a final LocationReport on the old
 // connection first so the old node hands the state off before the
 // disconnect.
+//
+// The partition it derives dial targets from starts at the even static
+// division and follows the versioned PartitionUpdate broadcasts of a
+// balance-enabled federation; a client that misses an update aims at a
+// stale owner and is healed by NodeRedirect, so the update is a routing
+// optimization, never a correctness requirement.
 type fedConn struct {
 	id       model.ObjectID
 	addrs    []string
-	part     cluster.Partition
+	geom     grid.Geometry
 	pos      func() geo.Point
 	now      func() model.Tick
 	interval time.Duration
@@ -334,6 +376,7 @@ type fedConn struct {
 	handler  transport.ClientHandler
 
 	mu      sync.Mutex
+	part    cluster.Partition
 	cur     *nettcp.Client
 	curNode int
 	closed  bool
@@ -353,6 +396,7 @@ func newFedConn(addrs []string, id model.ObjectID, pos func() geo.Point,
 	f := &fedConn{
 		id:       id,
 		addrs:    addrs,
+		geom:     geom,
 		part:     part,
 		pos:      pos,
 		now:      wallClock(opts.TickInterval),
@@ -392,16 +436,44 @@ func newFedConn(addrs []string, id model.ObjectID, pos func() geo.Point,
 }
 
 // dispatch fans received frames to the application handler, intercepting
-// redirects.
+// the federation control frames (redirects and partition updates).
 func (f *fedConn) dispatch(m protocol.Message) {
-	if r, ok := m.(protocol.NodeRedirect); ok {
+	switch v := m.(type) {
+	case protocol.NodeRedirect:
 		select {
-		case f.kick <- int(r.Node):
+		case f.kick <- int(v.Node):
 		default: // a redirect is already queued; one is enough
 		}
 		return
+	case protocol.PartitionUpdate:
+		f.applyPartitionUpdate(v)
+		return
 	}
 	f.handler.HandleServerMessage(m)
+}
+
+// applyPartitionUpdate installs a newer map so future dial decisions use
+// the current strips. A corrupt or stale update is ignored.
+func (f *fedConn) applyPartitionUpdate(u protocol.PartitionUpdate) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if u.Version <= f.part.Version() {
+		return
+	}
+	owners := make([]int, len(u.Owners))
+	for i, o := range u.Owners {
+		owners[i] = int(o)
+	}
+	if np, err := cluster.PartitionFromOwners(f.geom, owners, f.part.Nodes(), u.Version); err == nil {
+		f.part = np
+	}
+}
+
+// owner returns the node owning p under the current map.
+func (f *fedConn) owner(p geo.Point) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.part.NodeOf(p)
 }
 
 func (f *fedConn) current() (*nettcp.Client, int) {
@@ -439,7 +511,7 @@ func (f *fedConn) supervise() {
 				continue
 			}
 			if f.track {
-				if owner := f.part.NodeOf(f.pos()); owner != curNode {
+				if owner := f.owner(f.pos()); owner != curNode {
 					f.migrate(owner, true)
 				}
 			}
@@ -479,7 +551,7 @@ func (f *fedConn) migrate(to int, flush bool) {
 // redial re-attaches after a dead connection (node crash or restart):
 // aim at the position's owner and keep trying at tick cadence.
 func (f *fedConn) redial() {
-	owner := f.part.NodeOf(f.pos())
+	owner := f.owner(f.pos())
 	cl, err := nettcp.Dial(f.addrs[owner], f.id, transport.ClientHandlerFunc(f.dispatch))
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -29,6 +29,7 @@ const (
 	fedHelperEnv  = "DKNN_FED_HELPER_NODE"
 	fedPeersEnv   = "DKNN_FED_PEERS"
 	fedClientsEnv = "DKNN_FED_CLIENTS"
+	fedBalanceEnv = "DKNN_FED_BALANCE" // balance interval in ticks; empty/absent = static partition
 
 	fedWorldSide = 1000.0
 	fedGrid      = 10
@@ -57,7 +58,7 @@ func TestHelperFederationNode(t *testing.T) {
 		fmt.Println("HELPER-ERROR:", err)
 		os.Exit(1)
 	}
-	srv, err := dmknn.ListenAndServeNode(dmknn.FederationOptions{
+	opts := dmknn.FederationOptions{
 		World:          fedWorld(),
 		GridCols:       fedGrid,
 		GridRows:       fedGrid,
@@ -68,7 +69,17 @@ func TestHelperFederationNode(t *testing.T) {
 		PeerAddrs:      strings.Split(os.Getenv(fedPeersEnv), ","),
 		ClientAddrs:    strings.Split(os.Getenv(fedClientsEnv), ","),
 		Heartbeat:      100 * time.Millisecond,
-	})
+	}
+	if iv := os.Getenv(fedBalanceEnv); iv != "" {
+		n, err := strconv.Atoi(iv)
+		if err != nil {
+			fmt.Println("HELPER-ERROR:", err)
+			os.Exit(1)
+		}
+		opts.BalanceInterval = n
+		opts.BalanceMinGain = 0.02
+	}
+	srv, err := dmknn.ListenAndServeNode(opts)
 	if err != nil {
 		fmt.Println("HELPER-ERROR:", err)
 		os.Exit(1)
@@ -80,6 +91,27 @@ func TestHelperFederationNode(t *testing.T) {
 		}
 		fmt.Println("HEALTHY")
 	}()
+	if os.Getenv(fedBalanceEnv) != "" {
+		// The parent times its chaos to the first column move; announce it.
+		go func() {
+			for srv.Stats().PartitionVersion == 0 {
+				time.Sleep(20 * time.Millisecond)
+			}
+			fmt.Println("MOVED")
+		}()
+	}
+	if os.Getenv("DKNN_FED_DEBUG") != "" {
+		go func() {
+			for {
+				st := srv.Stats()
+				fmt.Fprintf(os.Stderr, "node%d ver=%d owned=%d att=%d localQ=%d oh=%d qh=%d redir=%d drop=%d mov=%d peers=%d ldrop=%d\n",
+					node, st.PartitionVersion, st.OwnedColumns, st.Attached, st.LocalQueries,
+					st.ObjectHandoffs, st.QueryHandoffs, st.Redirects, st.RelayDrops, st.BalanceMoves,
+					st.PeersUp, st.LinkDropped)
+				time.Sleep(2 * time.Second)
+			}
+		}()
+	}
 	// Serve until the parent closes our stdin (graceful) or kills us
 	// (chaos). Stdout is line-scanned by the parent, so only the marker
 	// lines above go there.
@@ -96,7 +128,7 @@ type fedProc struct {
 	lines chan string
 }
 
-func spawnFedNode(t *testing.T, node int, peers, clients []string) *fedProc {
+func spawnFedNode(t *testing.T, node int, peers, clients []string, extraEnv ...string) *fedProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperFederationNode$")
 	cmd.Env = append(os.Environ(),
@@ -104,6 +136,7 @@ func spawnFedNode(t *testing.T, node int, peers, clients []string) *fedProc {
 		fedPeersEnv+"="+strings.Join(peers, ","),
 		fedClientsEnv+"="+strings.Join(clients, ","),
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,210 @@
+// Package balance decides when a spatially partitioned federation should
+// move a grid-cell column between adjacent nodes to even out load.
+//
+// The decision engine is deliberately pure: callers feed it the current
+// per-column owner array and a per-node load sample, and it returns at
+// most one column move. Applying the move — versioning the partition
+// map, distributing it, migrating monitors and objects — is the
+// cluster's job (internal/cluster); keeping the engine free of transport
+// and server state makes every policy branch unit-testable.
+//
+// Policy: each node's load score is a weighted sum of its shares of the
+// cluster's total server busy time and total population. The balancer
+// scans every adjacent strip pair and evaluates shifting one boundary
+// column from the heavier to the lighter side, estimating the shifted
+// load as the donor's score spread uniformly over its columns. A move is
+// proposed only if it strictly shrinks the pair's maximum score by at
+// least MinGain (relative), which, together with the decision interval,
+// prevents oscillation: under an unchanged load estimate, moving the
+// column straight back could only raise the pair maximum it just
+// lowered, so it can never clear the gain bar.
+package balance
+
+import "dmknn/internal/model"
+
+// Load is one node's load sample over the current decision window.
+type Load struct {
+	// Population counts the clients the node currently serves (objects
+	// homed or attached there).
+	Population int
+	// Queries counts the query monitors homed at the node.
+	Queries int
+	// BusyUS is the node's server busy time over the window, microseconds.
+	BusyUS uint64
+}
+
+// Config tunes the balancer. Zero values select the defaults.
+type Config struct {
+	// IntervalTicks is the minimum number of ticks between decisions
+	// (default 16). Load samples are windowed to the same cadence, so a
+	// longer interval trades reaction speed for steadier estimates.
+	IntervalTicks int
+	// MinGain is the minimum relative reduction of the hotter node's
+	// score a move must promise (default 0.05).
+	MinGain float64
+	// BusyWeight and PopWeight weigh the busy-time and population shares
+	// in the load score (both default 1; set explicitly to use one
+	// signal exclusively — the zero value of the *whole* config keeps
+	// the defaults, a config with one weight set uses it as given).
+	BusyWeight float64
+	PopWeight  float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.IntervalTicks <= 0 {
+		c.IntervalTicks = 16
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 0.05
+	}
+	if c.BusyWeight == 0 && c.PopWeight == 0 {
+		c.BusyWeight, c.PopWeight = 1, 1
+	}
+	return c
+}
+
+// Move is one proposed rebalance step: reassign column Col from node
+// From to node To. Col is always a boundary column of From's strip
+// adjacent to To's strip, so applying it keeps strips contiguous.
+type Move struct {
+	Col, From, To int
+}
+
+// Stats counts balancer activity.
+type Stats struct {
+	// Decisions counts evaluation rounds (interval boundaries reached
+	// with a full load sample).
+	Decisions uint64
+	// Moves counts proposed column moves; Splits are the subset shed by
+	// a donor holding more columns than the receiver (a hot wide strip
+	// thinning), Merges the rest (a cold strip absorbing work from an
+	// equal-or-narrower neighbor).
+	Moves  uint64
+	Splits uint64
+	Merges uint64
+}
+
+// Balancer is the stateful decision engine: it holds the cadence clock
+// and activity counters. Not safe for concurrent use; callers invoke it
+// from their serial tick phase.
+type Balancer struct {
+	cfg       Config
+	lastEval  model.Tick
+	evaluated bool
+	stats     Stats
+}
+
+// New returns a balancer with cfg's zero values defaulted.
+func New(cfg Config) *Balancer {
+	return &Balancer{cfg: cfg}
+}
+
+// Stats returns the activity counters.
+func (b *Balancer) Stats() Stats { return b.stats }
+
+// Due reports whether a decision interval has elapsed, without consuming
+// it. Callers use it to skip load-sample collection between decisions.
+func (b *Balancer) Due(now model.Tick) bool {
+	return !b.evaluated || now-b.lastEval >= model.Tick(b.cfg.IntervalTicks)
+}
+
+// Decide evaluates one rebalance decision. owners is the per-column
+// owner array (contiguous ascending strips); loads holds one sample per
+// node. It returns at most one move — the adjacent-pair boundary-column
+// shift with the best estimated gain — or false when no move clears
+// MinGain or the decision interval has not elapsed.
+func (b *Balancer) Decide(now model.Tick, owners []int, loads []Load) (Move, bool) {
+	if !b.Due(now) {
+		return Move{}, false
+	}
+	b.lastEval = now
+	b.evaluated = true
+	b.stats.Decisions++
+
+	cfg := b.cfg.withDefaults()
+	scores := b.scores(loads)
+	if scores == nil {
+		return Move{}, false
+	}
+
+	// Per-node strip extents and widths.
+	nodes := len(loads)
+	first := make([]int, nodes)
+	last := make([]int, nodes)
+	width := make([]int, nodes)
+	for i := range first {
+		first[i] = -1
+	}
+	for c, o := range owners {
+		if o < 0 || o >= nodes {
+			return Move{}, false
+		}
+		if first[o] < 0 {
+			first[o] = c
+		}
+		last[o] = c
+		width[o]++
+	}
+	for _, w := range width {
+		if w == 0 {
+			return Move{}, false
+		}
+	}
+
+	best, bestGain := Move{}, 0.0
+	for hi := 0; hi < nodes-1; hi++ {
+		lo := hi + 1
+		// Evaluate both directions across the strip boundary; only the
+		// heavy→light one can gain, but computing both keeps the policy
+		// symmetric by construction.
+		for _, cand := range [2]Move{
+			{Col: last[hi], From: hi, To: lo},
+			{Col: first[lo], From: lo, To: hi},
+		} {
+			if width[cand.From] <= 1 {
+				continue // a node never gives up its last column
+			}
+			share := scores[cand.From] / float64(width[cand.From])
+			oldMax := max(scores[cand.From], scores[cand.To])
+			newMax := max(scores[cand.From]-share, scores[cand.To]+share)
+			gain := (oldMax - newMax) / oldMax
+			if gain > bestGain {
+				best, bestGain = cand, gain
+			}
+		}
+	}
+	if bestGain < cfg.MinGain {
+		return Move{}, false
+	}
+	b.stats.Moves++
+	if width[best.From] > width[best.To] {
+		b.stats.Splits++
+	} else {
+		b.stats.Merges++
+	}
+	return best, true
+}
+
+// scores computes the per-node load score, or nil when the sample
+// carries no signal at all (all totals zero).
+func (b *Balancer) scores(loads []Load) []float64 {
+	cfg := b.cfg.withDefaults()
+	var totBusy, totPop float64
+	for _, l := range loads {
+		totBusy += float64(l.BusyUS)
+		totPop += float64(l.Population)
+	}
+	if (totBusy == 0 || cfg.BusyWeight == 0) && (totPop == 0 || cfg.PopWeight == 0) {
+		return nil
+	}
+	out := make([]float64, len(loads))
+	for i, l := range loads {
+		if totBusy > 0 {
+			out[i] += cfg.BusyWeight * float64(l.BusyUS) / totBusy
+		}
+		if totPop > 0 {
+			out[i] += cfg.PopWeight * float64(l.Population) / totPop
+		}
+	}
+	return out
+}

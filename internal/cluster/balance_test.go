@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"dmknn/internal/balance"
+	"dmknn/internal/workload"
+
+	"dmknn/internal/sim"
+)
+
+// The migration-safety invariant of adaptive partitioning: with the
+// balancer enabled under a skewed (hotspot) workload, the partition map
+// actually moves — and every audited answer on every tick, including the
+// ticks a column migration is in flight, stays exact. Clients must not be
+// able to tell the map changed.
+func TestAdaptiveClusterStaysExactUnderHotspot(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			cfg, err := workload.WithMobility(workload.Quick(), workload.ModelHotspot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Ticks = 120
+			m, err := NewAdaptiveMethod(nodes, proto(), LinkConfig{}, balance.Config{
+				IntervalTicks: 8,
+				MinGain:       0.02,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(cfg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Audit.Evaluations() == 0 {
+				t.Fatal("no audited answers")
+			}
+			if ex := res.Audit.Exactness(); ex != 1.0 {
+				t.Fatalf("exactness = %v (recall mean %v, worst %v) — adaptive partitioning broke the invariant",
+					ex, res.Audit.MeanRecall(), res.Audit.WorstRecall())
+			}
+			st := m.Cluster().Stats()
+			if st.ColumnMoves == 0 {
+				t.Fatal("hotspot run never moved a column — balancer inert")
+			}
+			if got := m.Cluster().Partition().Version(); got != st.ColumnMoves {
+				t.Errorf("partition version %d != column moves %d", got, st.ColumnMoves)
+			}
+			bs := m.Cluster().BalancerStats()
+			if bs.Moves != st.ColumnMoves {
+				t.Errorf("balancer moves %d != applied moves %d", bs.Moves, st.ColumnMoves)
+			}
+			if bs.Decisions < bs.Moves {
+				t.Errorf("decisions %d < moves %d", bs.Decisions, bs.Moves)
+			}
+			// The shared ref tracks the installed map.
+			if rv := m.Cluster().PartitionRef().Load().Version(); rv != m.Cluster().Partition().Version() {
+				t.Errorf("partition ref at version %d, cluster at %d", rv, m.Cluster().Partition().Version())
+			}
+		})
+	}
+}
+
+// With the balancer disabled nothing changes: the map stays at version 0
+// and no columns move, so the static federation is bit-for-bit the
+// pre-balancer one.
+func TestStaticClusterNeverMovesColumns(t *testing.T) {
+	cfg, err := workload.WithMobility(workload.Quick(), workload.ModelHotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ticks = 60
+	m := mustMethod(t, 4, proto(), LinkConfig{})
+	res, err := sim.Run(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := res.Audit.Exactness(); ex != 1.0 {
+		t.Fatalf("exactness = %v", ex)
+	}
+	if st := m.Cluster().Stats(); st.ColumnMoves != 0 {
+		t.Errorf("static cluster moved %d columns", st.ColumnMoves)
+	}
+	if v := m.Cluster().Partition().Version(); v != 0 {
+		t.Errorf("static cluster at partition version %d", v)
+	}
+}

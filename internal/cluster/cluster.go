@@ -36,7 +36,10 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"dmknn/internal/balance"
 	"dmknn/internal/core"
 	"dmknn/internal/geo"
 	"dmknn/internal/grid"
@@ -51,15 +54,21 @@ import (
 // → query's home node); the slack absorbs a handoff racing a relay.
 const maxRelayHops = 4
 
-// Partition is the static spatial decomposition: contiguous strips of
-// whole grid-cell columns, one strip per node, covering the world. Cell
+// Partition is the spatial decomposition: contiguous strips of whole
+// grid-cell columns, one strip per node, covering the world. Cell
 // granularity makes restricted broadcasts exact — every cell is owned by
 // exactly one node, so clipped rebroadcasts neither overlap nor leave
 // gaps.
+//
+// A partition value is immutable; the balancer evolves the map through
+// MoveColumn, which returns a new value with the version incremented.
+// Strips stay contiguous and in ascending node order because MoveColumn
+// only shifts boundary columns between adjacent strips.
 type Partition struct {
 	geom     grid.Geometry
 	regions  []geo.Rect
 	colOwner []int
+	version  uint64
 }
 
 // NewPartition divides the geometry's columns over nodes as evenly as
@@ -102,6 +111,122 @@ func NewPartition(geom grid.Geometry, nodes int) (Partition, error) {
 
 // Nodes returns the node count.
 func (p Partition) Nodes() int { return len(p.regions) }
+
+// Version returns the map version: 0 for a freshly divided partition,
+// incremented by every MoveColumn. Versions order maps totally, so
+// replicated holders converge on the highest one they have seen.
+func (p Partition) Version() uint64 { return p.version }
+
+// Owners returns a copy of the per-column owner array (index = column),
+// the wire representation a PartitionUpdate distributes.
+func (p Partition) Owners() []int {
+	return slices.Clone(p.colOwner)
+}
+
+// MoveColumn returns a new partition (version incremented) with column
+// col reassigned to node to. Strips must stay contiguous, so col must be
+// a boundary column of its current strip adjacent to to's strip, and the
+// donor must keep at least one column.
+func (p Partition) MoveColumn(col, to int) (Partition, error) {
+	cols := len(p.colOwner)
+	if col < 0 || col >= cols {
+		return Partition{}, fmt.Errorf("cluster: column %d outside [0,%d)", col, cols)
+	}
+	if to < 0 || to >= len(p.regions) {
+		return Partition{}, fmt.Errorf("cluster: node %d outside [0,%d)", to, len(p.regions))
+	}
+	from := p.colOwner[col]
+	if from == to {
+		return Partition{}, fmt.Errorf("cluster: column %d already owned by node %d", col, to)
+	}
+	adjacent := (col > 0 && p.colOwner[col-1] == to) ||
+		(col < cols-1 && p.colOwner[col+1] == to)
+	if !adjacent {
+		return Partition{}, fmt.Errorf("cluster: node %d's strip is not adjacent to column %d", to, col)
+	}
+	donorCols := 0
+	for _, o := range p.colOwner {
+		if o == from {
+			donorCols++
+		}
+	}
+	if donorCols <= 1 {
+		return Partition{}, fmt.Errorf("cluster: node %d cannot give up its last column", from)
+	}
+	owners := slices.Clone(p.colOwner)
+	owners[col] = to
+	np := Partition{
+		geom:     p.geom,
+		regions:  regionsFromOwners(p.geom, owners, len(p.regions)),
+		colOwner: owners,
+		version:  p.version + 1,
+	}
+	return np, nil
+}
+
+// PartitionFromOwners reconstructs a partition from a distributed owner
+// array and version (the PartitionUpdate payload). The array must assign
+// every column, give each of the nodes at least one column, and keep
+// strips contiguous in ascending node order — everything MoveColumn
+// preserves — so a corrupt or crafted update cannot install an
+// inconsistent map.
+func PartitionFromOwners(geom grid.Geometry, owners []int, nodes int, version uint64) (Partition, error) {
+	cols, _ := geom.Dims()
+	if len(owners) != cols {
+		return Partition{}, fmt.Errorf("cluster: owner array covers %d of %d columns", len(owners), cols)
+	}
+	if nodes < 1 || nodes > cols {
+		return Partition{}, fmt.Errorf("cluster: node count %d outside [1,%d]", nodes, cols)
+	}
+	next := 0
+	for c, o := range owners {
+		switch {
+		case o == next-1: // still inside the current strip
+		case o == next && next < nodes: // first column of the next strip
+			next++
+		default:
+			return Partition{}, fmt.Errorf("cluster: owner array not contiguous ascending at column %d (node %d)", c, o)
+		}
+	}
+	if next != nodes {
+		return Partition{}, fmt.Errorf("cluster: owner array covers %d of %d nodes", next, nodes)
+	}
+	return Partition{
+		geom:     geom,
+		regions:  regionsFromOwners(geom, owners, nodes),
+		colOwner: slices.Clone(owners),
+		version:  version,
+	}, nil
+}
+
+// regionsFromOwners recomputes per-node strip rectangles from a
+// contiguous ascending owner array.
+func regionsFromOwners(geom grid.Geometry, owners []int, nodes int) []geo.Rect {
+	cols := len(owners)
+	b := geom.Bounds()
+	cellW := b.Width() / float64(cols)
+	regions := make([]geo.Rect, nodes)
+	first := make([]int, nodes)
+	last := make([]int, nodes)
+	for i := range first {
+		first[i] = -1
+	}
+	for c, o := range owners {
+		if first[o] < 0 {
+			first[o] = c
+		}
+		last[o] = c
+	}
+	for i := 0; i < nodes; i++ {
+		x0 := b.Min.X + float64(first[i])*cellW
+		x1 := b.Min.X + float64(last[i]+1)*cellW
+		if last[i] == cols-1 {
+			x1 = b.Max.X // absorb float rounding at the world edge
+		}
+		regions[i] = geo.NewRect(geo.Pt(x0, b.Min.Y), geo.Pt(x1, b.Max.Y))
+	}
+	return regions
+}
 
 // Region returns node i's strip.
 func (p Partition) Region(i int) geo.Rect { return p.regions[i] }
@@ -148,7 +273,34 @@ type Stats struct {
 	// was unknown everywhere reachable, or a forwarding chain exceeded
 	// its hop budget.
 	RelayDrops uint64
+	// ColumnMoves counts balancer-driven partition changes (zero with
+	// the balancer disabled).
+	ColumnMoves uint64
 }
+
+// PartitionRef is a shared, atomically swappable view of the current
+// partition. Radio cell filters capture it instead of a partition value,
+// so a balancer-driven map change retargets every node's restricted
+// broadcast surface at the instant the cluster installs the new map —
+// clipping and forwarding always read the same map, which is what keeps
+// rebroadcasts exactly tiling the world mid-migration.
+type PartitionRef struct {
+	p atomic.Pointer[Partition]
+}
+
+// NewPartitionRef returns a ref holding p.
+func NewPartitionRef(p Partition) *PartitionRef {
+	r := &PartitionRef{}
+	r.store(p)
+	return r
+}
+
+// Load returns the current partition. Partition values are immutable,
+// so the returned value stays internally consistent however long the
+// caller holds it.
+func (r *PartitionRef) Load() Partition { return *r.p.Load() }
+
+func (r *PartitionRef) store(p Partition) { r.p.Store(&p) }
 
 // Deps wires a Cluster to its environment.
 type Deps struct {
@@ -172,6 +324,11 @@ type Deps struct {
 	// protocol events. Node servers tick on parallel goroutines, so the
 	// sink must be safe for concurrent use.
 	Trace obs.Sink
+	// PartRef, when non-nil, is the shared partition view the radio cell
+	// filters read; the cluster keeps it in sync as the balancer moves
+	// columns. New creates one when nil (callers that never enable the
+	// balancer need not care).
+	PartRef *PartitionRef
 }
 
 // Cluster is the federation: the partition, the per-node servers, and
@@ -195,6 +352,16 @@ type Cluster struct {
 	// parallel per-node server ticks, like shard.lockedSide. The serial
 	// phases take it too — uncontended — so every send path is uniform.
 	sendMu sync.Mutex
+
+	// ref mirrors part for the radio cell filters; swapped together with
+	// part when the balancer moves a column.
+	ref *PartitionRef
+
+	// bal, when non-nil, drives adaptive partitioning from the serial
+	// tick phase. balBusyBase holds each node's cumulative busy time at
+	// the last decision, so loads are per-window rates.
+	bal         *balance.Balancer
+	balBusyBase []time.Duration
 
 	stats Stats
 }
@@ -249,6 +416,12 @@ func New(part Partition, cfg core.Config, deps Deps) (*Cluster, error) {
 		cfg:  cfg,
 		deps: deps,
 		home: make(map[model.ObjectID]int),
+		ref:  deps.PartRef,
+	}
+	if c.ref == nil {
+		c.ref = NewPartitionRef(part)
+	} else {
+		c.ref.store(part)
 	}
 	c.nodes = make([]*node, part.Nodes())
 	for i := range c.nodes {
@@ -281,8 +454,31 @@ func New(part Partition, cfg core.Config, deps Deps) (*Cluster, error) {
 	return c, nil
 }
 
-// Partition returns the spatial decomposition.
+// Partition returns the spatial decomposition (the current map when the
+// balancer is enabled).
 func (c *Cluster) Partition() Partition { return c.part }
+
+// PartitionRef returns the shared partition view; it tracks
+// balancer-driven map changes, so radio cell filters built over it stay
+// aligned with the cluster's routing.
+func (c *Cluster) PartitionRef() *PartitionRef { return c.ref }
+
+// EnableBalancer turns on adaptive partitioning: every tick's serial
+// phase consults the balancer and, when it proposes a column move,
+// installs the versioned new map and bulk-migrates the monitors the move
+// stranded. Call before the first Tick.
+func (c *Cluster) EnableBalancer(cfg balance.Config) {
+	c.bal = balance.New(cfg)
+}
+
+// BalancerStats returns the balancer's activity counters (zero when the
+// balancer was never enabled).
+func (c *Cluster) BalancerStats() balance.Stats {
+	if c.bal == nil {
+		return balance.Stats{}
+	}
+	return c.bal.Stats()
+}
 
 // Node returns node i's server (for inspection).
 func (c *Cluster) Node(i int) *core.Server { return c.nodes[i].server }
@@ -406,9 +602,10 @@ func (n *node) handleUplink(from model.ObjectID, msg protocol.Message, hops int)
 // relay forwards a client uplink to another node.
 func (c *Cluster) relay(from, to int, origin model.ObjectID, msg protocol.Message, hops int) {
 	c.sendLink(from, to, protocol.NodeRelay{
-		Origin: origin,
-		Hops:   uint8(hops + 1),
-		Inner:  msg,
+		Origin:  origin,
+		Hops:    uint8(hops + 1),
+		Version: c.part.Version(),
+		Inner:   msg,
 	})
 }
 
@@ -480,9 +677,10 @@ func (n *node) finishTeardown(q model.QueryID) {
 	}
 	for _, peer := range sortedNodes(n.spread[q]) {
 		n.c.sendLink(n.id, peer, protocol.NodeForward{
-			Home:   uint16(n.id),
-			Region: geo.Circle{R: -1},
-			Inner:  protocol.MonitorCancel{Query: q},
+			Home:    uint16(n.id),
+			Version: n.c.part.Version(),
+			Region:  geo.Circle{R: -1},
+			Inner:   protocol.MonitorCancel{Query: q},
 		})
 	}
 	delete(n.spread, q)
@@ -580,25 +778,7 @@ func (c *Cluster) migrateQueries(now model.Tick) {
 			if !ok {
 				continue // probe in flight; retry next tick
 			}
-			qh := st.ExportState()
-			for _, peer := range sortedNodes(n.spread[q]) {
-				if peer != dest {
-					qh.Spread = append(qh.Spread, uint16(peer))
-				}
-			}
-			delete(n.local, q)
-			delete(n.spread, q)
-			// Late reports for q still arrive here (aware objects in
-			// this strip keep reporting to their own home node — this
-			// one); relay them onward like any other remote query.
-			n.remote[q] = dest
-			c.home[st.Addr] = dest
-			n.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
-			c.sendLink(n.id, dest, qh)
-			c.stats.QueryHandoffs++
-			if c.deps.Trace != nil {
-				c.emit(n.id, obs.Event{Type: obs.EvQueryHandoffBegun, Query: q, Seq: qh.AnswerSeq, Value: float64(dest)})
-			}
+			n.shipMonitor(st, dest, now)
 		}
 		for _, q := range sortedPending(n.pending) {
 			p := n.pending[q]
@@ -607,6 +787,34 @@ func (c *Cluster) migrateQueries(now model.Tick) {
 				c.sendLink(n.id, p.to, p.msg)
 			}
 		}
+	}
+}
+
+// shipMonitor sends an exported monitor snapshot to its new home node and
+// installs the retry and relay bookkeeping. The per-tick migration scan
+// and the balancer's bulk column migration share it, so both paths give a
+// migrated monitor identical lossy-link protection.
+func (n *node) shipMonitor(st core.MonitorState, dest int, now model.Tick) {
+	c := n.c
+	q := st.Query
+	qh := st.ExportState()
+	for _, peer := range sortedNodes(n.spread[q]) {
+		if peer != dest {
+			qh.Spread = append(qh.Spread, uint16(peer))
+		}
+	}
+	delete(n.local, q)
+	delete(n.spread, q)
+	// Late reports for q still arrive here (aware objects in this strip
+	// keep reporting to their own home node — this one); relay them
+	// onward like any other remote query.
+	n.remote[q] = dest
+	c.home[st.Addr] = dest
+	n.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
+	c.sendLink(n.id, dest, qh)
+	c.stats.QueryHandoffs++
+	if c.deps.Trace != nil {
+		c.emit(n.id, obs.Event{Type: obs.EvQueryHandoffBegun, Query: q, Seq: qh.AnswerSeq, Value: float64(dest)})
 	}
 }
 
@@ -642,6 +850,78 @@ func (n *node) handleQueryHandoff(from int, v protocol.QueryHandoff) {
 	// Ack even a rejected (insane) snapshot so the sender stops
 	// retrying a message that will never apply.
 	c.sendLink(n.id, from, protocol.QueryHandoffAck{Query: q})
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive partitioning
+
+// rebalance runs the balancer in the serial phase: sample per-node loads
+// over the decision window, ask for a column move, install the versioned
+// new map, and bulk-migrate the monitors the move stranded. Objects need
+// no sweep — each re-homes lazily on its next uplink through the ordinary
+// boundary-detection path, and until then its old home relays for it.
+func (c *Cluster) rebalance(now model.Tick) {
+	if !c.bal.Due(now) {
+		return
+	}
+	if c.balBusyBase == nil {
+		c.balBusyBase = make([]time.Duration, len(c.nodes))
+	}
+	pop := make([]int, len(c.nodes))
+	for _, h := range c.home {
+		pop[h]++
+	}
+	loads := make([]balance.Load, len(c.nodes))
+	busy := make([]time.Duration, len(c.nodes))
+	for i, n := range c.nodes {
+		busy[i] = n.server.BusyTime()
+		loads[i] = balance.Load{
+			Population: pop[i],
+			Queries:    len(n.local),
+			BusyUS:     uint64((busy[i] - c.balBusyBase[i]).Microseconds()),
+		}
+	}
+	mv, ok := c.bal.Decide(now, c.part.Owners(), loads)
+	copy(c.balBusyBase, busy) // start the next sample window either way
+	if !ok {
+		return
+	}
+	np, err := c.part.MoveColumn(mv.Col, mv.To)
+	if err != nil {
+		return // defense in depth; the balancer only proposes legal moves
+	}
+	c.setPartition(np)
+	c.stats.ColumnMoves++
+	if c.deps.Trace != nil {
+		c.emit(mv.From, obs.Event{Type: obs.EvColumnMoved, Seq: uint32(np.Version()), Value: float64(mv.To)})
+	}
+	c.migrateOutOfStrip(now)
+}
+
+// setPartition installs a new partition map. The cluster's own copy and
+// the shared ref the radio cell filters read swap together under sendMu,
+// so no broadcast can clip against one map and forward against another.
+func (c *Cluster) setPartition(p Partition) {
+	c.sendMu.Lock()
+	c.part = p
+	c.ref.store(p)
+	c.sendMu.Unlock()
+}
+
+// migrateOutOfStrip bulk-exports every monitor a partition change left
+// outside its node's strip and ships each to its new owner through the
+// ordinary query-handoff machinery — retried until acked, re-baselined on
+// import — so a column move is exactly as safe as a focal client walking
+// across the old boundary.
+func (c *Cluster) migrateOutOfStrip(now model.Tick) {
+	for _, n := range c.nodes {
+		exported := n.server.ExportMonitorsWhere(now, func(q model.QueryID, est geo.Point) bool {
+			return c.part.NodeOf(est) != n.id
+		})
+		for _, ex := range exported {
+			n.shipMonitor(ex.State, c.part.NodeOf(ex.Est), now)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -745,6 +1025,9 @@ func (c *Cluster) HandleClientGone(id model.ObjectID) {
 // then deliver the link traffic those ticks produced.
 func (c *Cluster) Tick(now model.Tick) {
 	c.deps.Link.Flush()
+	if c.bal != nil {
+		c.rebalance(now)
+	}
 	c.migrateQueries(now)
 	var wg sync.WaitGroup
 	for _, n := range c.nodes {
@@ -798,7 +1081,7 @@ func (s nodeSide) Downlink(to model.ObjectID, m protocol.Message) {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if home := c.homeOf(to); home != n.id {
-		c.deps.Link.Send(n.id, home, protocol.NodeDeliver{To: to, Inner: m})
+		c.deps.Link.Send(n.id, home, protocol.NodeDeliver{To: to, Version: c.part.Version(), Inner: m})
 		return
 	}
 	n.radio.Downlink(to, m)
@@ -832,9 +1115,10 @@ func (s nodeSide) Broadcast(region geo.Circle, m protocol.Message) {
 	}
 	for _, peer := range targets {
 		c.deps.Link.Send(n.id, peer, protocol.NodeForward{
-			Home:   uint16(n.id),
-			Region: region,
-			Inner:  m,
+			Home:    uint16(n.id),
+			Version: c.part.Version(),
+			Region:  region,
+			Inner:   m,
 		})
 		if !cancel {
 			sp := n.spread[q]

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"math"
 	"slices"
 	"sync"
 	"time"
 
+	"dmknn/internal/balance"
 	"dmknn/internal/core"
 	"dmknn/internal/geo"
 	"dmknn/internal/model"
@@ -98,6 +100,41 @@ type Member struct {
 
 	stats     Stats
 	redirects uint64
+
+	// Adaptive partitioning. Every balance-enabled node reports its load
+	// to the coordinator and applies the versioned maps it distributes;
+	// the decision engine and replication bookkeeping live only on the
+	// coordinator (node 0).
+	balanceOn    bool
+	bal          *balance.Balancer
+	busyBase     time.Duration    // own busy time at the last decision window
+	peerLoads    []nodeLoadSample // coordinator: latest NodeLoad per node
+	peerBusyBase []uint64         // coordinator: cumulative busy-µs at window start
+	pendingPart  *pendingPartition
+}
+
+// coordinatorNode is the member that runs the balance decision engine.
+const coordinatorNode = 0
+
+// nodeLoadSample is the coordinator's record of one peer's latest
+// NodeLoad report (BusyUS cumulative; the coordinator windows it).
+type nodeLoadSample struct {
+	seen    bool
+	version uint64
+	pop     int
+	queries int
+	busyUS  uint64
+}
+
+// pendingPartition is an unacked map distribution: the coordinator
+// retries the PartitionUpdate to every silent peer and makes no further
+// decision until all have confirmed, so moves are strictly serialized
+// across the federation.
+type pendingPartition struct {
+	version uint64
+	update  protocol.PartitionUpdate
+	acked   []bool
+	sentAt  model.Tick
 }
 
 // NewMember builds node id of the partition's federation and installs it
@@ -145,8 +182,70 @@ func NewMember(part Partition, id int, cfg core.Config, deps MemberDeps) (*Membe
 // Node returns this member's node id.
 func (m *Member) Node() int { return m.id }
 
-// Partition returns the shared spatial decomposition.
-func (m *Member) Partition() Partition { return m.part }
+// Partition returns the spatial decomposition (this node's current
+// belief when the balancer is enabled).
+func (m *Member) Partition() Partition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.part
+}
+
+// EnableBalancer turns on adaptive partitioning for this member. Every
+// enabled node reports NodeLoad to the coordinator and stamps its map
+// version into peer hellos (so a rejoining stale node is pushed the
+// current map); the coordinator additionally runs the decision engine
+// and distributes versioned PartitionUpdates, acked by every peer before
+// the next move. Call before serving.
+func (m *Member) EnableBalancer(cfg balance.Config) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.balanceOn = true
+	if m.id == coordinatorNode {
+		m.bal = balance.New(cfg)
+		m.peerLoads = make([]nodeLoadSample, m.part.Nodes())
+		m.peerBusyBase = make([]uint64, m.part.Nodes())
+	}
+	if vl, ok := m.deps.Link.(interface{ SetVersion(func() uint64) }); ok {
+		vl.SetVersion(m.PartitionVersion)
+	}
+	if hl, ok := m.deps.Link.(interface {
+		OnHello(func(peer int, version uint64))
+	}); ok {
+		hl.OnHello(m.handlePeerHello)
+	}
+}
+
+// PartitionVersion returns the version of this node's current map.
+func (m *Member) PartitionVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.part.Version()
+}
+
+// OwnedColumns returns how many grid-cell columns this node's strip
+// currently spans.
+func (m *Member) OwnedColumns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, o := range m.part.colOwner {
+		if o == m.id {
+			n++
+		}
+	}
+	return n
+}
+
+// BalancerStats returns the decision engine's counters (all zero on
+// non-coordinator nodes and when the balancer is disabled).
+func (m *Member) BalancerStats() balance.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bal == nil {
+		return balance.Stats{}
+	}
+	return m.bal.Stats()
+}
 
 // Server returns the inner core server (for inspection).
 func (m *Member) Server() *core.Server { return m.server }
@@ -200,6 +299,22 @@ func (m *Member) emit(e obs.Event) {
 func (m *Member) Tick(now model.Tick) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.balanceOn {
+		if m.id == coordinatorNode {
+			m.rebalance(now)
+		} else {
+			// Report cumulative load to the coordinator; it windows the
+			// busy time between decisions.
+			m.deps.Link.Send(m.id, coordinatorNode, protocol.NodeLoad{
+				Node:       uint16(m.id),
+				Version:    m.part.Version(),
+				Population: uint32(len(m.attach)),
+				Queries:    uint32(len(m.local)),
+				BusyUS:     uint64(m.server.BusyTime().Microseconds()),
+				At:         now,
+			})
+		}
+	}
 	m.migrateQueries(now)
 	m.server.Tick(now)
 }
@@ -307,9 +422,10 @@ func (m *Member) routeUplink(from model.ObjectID, msg protocol.Message, hops int
 
 func (m *Member) relay(to int, origin model.ObjectID, msg protocol.Message, hops int) {
 	m.deps.Link.Send(m.id, to, protocol.NodeRelay{
-		Origin: origin,
-		Hops:   uint8(hops + 1),
-		Inner:  msg,
+		Origin:  origin,
+		Hops:    uint8(hops + 1),
+		Version: m.part.Version(),
+		Inner:   msg,
 	})
 }
 
@@ -388,9 +504,10 @@ func (m *Member) finishTeardown(q model.QueryID) {
 	}
 	for _, peer := range sortedNodes(m.spread[q]) {
 		m.deps.Link.Send(m.id, peer, protocol.NodeForward{
-			Home:   uint16(m.id),
-			Region: geo.Circle{R: -1},
-			Inner:  protocol.MonitorCancel{Query: q},
+			Home:    uint16(m.id),
+			Version: m.part.Version(),
+			Region:  geo.Circle{R: -1},
+			Inner:   protocol.MonitorCancel{Query: q},
 		})
 	}
 	delete(m.spread, q)
@@ -440,6 +557,153 @@ func (m *Member) handleObjectHandoff(v protocol.ObjectHandoff) {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive partitioning (coordinator decision + replicated application)
+
+// rebalance runs on the coordinator each tick (under the mutex). A
+// pending map distribution blocks further decisions — moves serialize
+// across the federation — and is retried to every silent peer; otherwise,
+// once the interval elapses and every peer has reported a load sample on
+// the current map, the engine may propose one column move, which is
+// applied locally and distributed as a versioned PartitionUpdate.
+func (m *Member) rebalance(now model.Tick) {
+	if pp := m.pendingPart; pp != nil {
+		if now-pp.sentAt >= 1 {
+			pp.sentAt = now
+			for peer, acked := range pp.acked {
+				if !acked && peer != m.id {
+					m.deps.Link.Send(m.id, peer, pp.update)
+				}
+			}
+		}
+		return
+	}
+	if !m.bal.Due(now) {
+		return
+	}
+	loads := make([]balance.Load, m.part.Nodes())
+	for i := range loads {
+		if i == m.id {
+			busy := uint64(m.server.BusyTime().Microseconds())
+			loads[i] = balance.Load{
+				Population: len(m.attach),
+				Queries:    len(m.local),
+				BusyUS:     busy - uint64(m.busyBase.Microseconds()),
+			}
+			continue
+		}
+		s := m.peerLoads[i]
+		if !s.seen || s.version != m.part.Version() {
+			return // wait until every peer has reported on this map
+		}
+		loads[i] = balance.Load{
+			Population: s.pop,
+			Queries:    s.queries,
+			BusyUS:     s.busyUS - m.peerBusyBase[i],
+		}
+	}
+	mv, ok := m.bal.Decide(now, m.part.Owners(), loads)
+	// Restart the busy-time windows whether or not a move was proposed.
+	m.busyBase = m.server.BusyTime()
+	for i := range m.peerLoads {
+		if m.peerLoads[i].seen {
+			m.peerBusyBase[i] = m.peerLoads[i].busyUS
+		}
+	}
+	if !ok {
+		return
+	}
+	np, err := m.part.MoveColumn(mv.Col, mv.To)
+	if err != nil {
+		return // defense in depth; the balancer only proposes legal moves
+	}
+	upd := protocol.PartitionUpdate{Version: np.Version(), Owners: ownersToWire(np.Owners())}
+	pp := &pendingPartition{
+		version: np.Version(),
+		update:  upd,
+		acked:   make([]bool, np.Nodes()),
+		sentAt:  now,
+	}
+	pp.acked[m.id] = true
+	m.pendingPart = pp
+	m.applyPartition(np, now)
+	for peer := 0; peer < np.Nodes(); peer++ {
+		if peer != m.id {
+			m.deps.Link.Send(m.id, peer, upd)
+		}
+	}
+}
+
+// applyPartition installs a newer map on this node: routing flips to the
+// new strips, the monitors the change stranded bulk-migrate through the
+// ordinary retried query-handoff path, and attached clients hear the new
+// map so they re-derive their dial targets (a client that misses the
+// broadcast is healed by NodeRedirect on its next report).
+func (m *Member) applyPartition(np Partition, now model.Tick) {
+	m.part = np
+	m.stats.ColumnMoves++
+	m.emit(obs.Event{Type: obs.EvColumnMoved, Seq: uint32(np.Version())})
+	exported := m.server.ExportMonitorsWhere(now, func(q model.QueryID, est geo.Point) bool {
+		return m.part.NodeOf(est) != m.id
+	})
+	for _, ex := range exported {
+		m.shipMonitor(ex.State, m.part.NodeOf(ex.Est), now)
+	}
+	m.deps.Radio.Broadcast(worldCircle(m.part.geom.Bounds()), protocol.PartitionUpdate{
+		Version: np.Version(),
+		Owners:  ownersToWire(np.Owners()),
+	})
+}
+
+// handlePartitionUpdate applies a distributed map if it is newer than
+// this node's, and always acks — duplicates and stale retries must stop
+// the coordinator's retry loop even when nothing applies.
+func (m *Member) handlePartitionUpdate(from int, v protocol.PartitionUpdate) {
+	if v.Version > m.part.Version() {
+		owners := make([]int, len(v.Owners))
+		for i, o := range v.Owners {
+			owners[i] = int(o)
+		}
+		if np, err := PartitionFromOwners(m.part.geom, owners, m.part.Nodes(), v.Version); err == nil {
+			m.applyPartition(np, m.now())
+		}
+	}
+	m.deps.Link.Send(m.id, from, protocol.PartitionAck{Node: uint16(m.id), Version: v.Version})
+}
+
+// handlePeerHello is the stale-map healer: a peer handshake carrying an
+// older map version (a node that restarted or missed updates while
+// partitioned away) is pushed the current map directly.
+func (m *Member) handlePeerHello(peer int, version uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.balanceOn || version >= m.part.Version() {
+		return
+	}
+	m.deps.Link.Send(m.id, peer, protocol.PartitionUpdate{
+		Version: m.part.Version(),
+		Owners:  ownersToWire(m.part.Owners()),
+	})
+}
+
+// ownersToWire converts an owner array to its PartitionUpdate form.
+func ownersToWire(owners []int) []uint16 {
+	out := make([]uint16, len(owners))
+	for i, o := range owners {
+		out[i] = uint16(o)
+	}
+	return out
+}
+
+// worldCircle returns a circle covering the whole world, for broadcasts
+// that must reach every attached client.
+func worldCircle(b geo.Rect) geo.Circle {
+	return geo.Circle{
+		Center: geo.Pt((b.Min.X+b.Max.X)/2, (b.Min.Y+b.Max.Y)/2),
+		R:      math.Hypot(b.Max.X-b.Min.X, b.Max.Y-b.Min.Y) / 2,
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Query migration
 
 // migrateQueries runs in the tick's serial phase: any local query whose
@@ -462,25 +726,7 @@ func (m *Member) migrateQueries(now model.Tick) {
 		if !ok {
 			continue // probe in flight; retry next tick
 		}
-		qh := st.ExportState()
-		for _, peer := range sortedNodes(m.spread[q]) {
-			if peer != dest {
-				qh.Spread = append(qh.Spread, uint16(peer))
-			}
-		}
-		delete(m.local, q)
-		delete(m.spread, q)
-		// Late reports still arrive here; relay them onward like any
-		// other remote query.
-		m.remote[q] = dest
-		m.home[st.Addr] = dest
-		m.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
-		m.deps.Link.Send(m.id, dest, qh)
-		m.stats.QueryHandoffs++
-		m.emit(obs.Event{Type: obs.EvQueryHandoffBegun, Query: q, Seq: qh.AnswerSeq, Value: float64(dest)})
-		if m.attach[st.Addr] {
-			m.redirect(st.Addr, dest)
-		}
+		m.shipMonitor(st, dest, now)
 	}
 	for _, q := range sortedPending(m.pending) {
 		p := m.pending[q]
@@ -491,9 +737,42 @@ func (m *Member) migrateQueries(now model.Tick) {
 	}
 }
 
+// shipMonitor sends an exported monitor snapshot to its new home node,
+// installs the retry and relay bookkeeping, and steers the focal client
+// there. The per-tick migration scan and a partition change's bulk
+// migration share it.
+func (m *Member) shipMonitor(st core.MonitorState, dest int, now model.Tick) {
+	q := st.Query
+	qh := st.ExportState()
+	for _, peer := range sortedNodes(m.spread[q]) {
+		if peer != dest {
+			qh.Spread = append(qh.Spread, uint16(peer))
+		}
+	}
+	delete(m.local, q)
+	delete(m.spread, q)
+	// Late reports still arrive here; relay them onward like any other
+	// remote query.
+	m.remote[q] = dest
+	m.home[st.Addr] = dest
+	m.pending[q] = &pendingHandoff{to: dest, msg: qh, sentAt: now}
+	m.deps.Link.Send(m.id, dest, qh)
+	m.stats.QueryHandoffs++
+	m.emit(obs.Event{Type: obs.EvQueryHandoffBegun, Query: q, Seq: qh.AnswerSeq, Value: float64(dest)})
+	if m.attach[st.Addr] {
+		m.redirect(st.Addr, dest)
+	}
+}
+
 func (m *Member) handleQueryHandoff(from int, v protocol.QueryHandoff) {
 	q := v.Query
 	if m.local[q] {
+		// Duplicate of a handoff already applied (retry after a lost
+		// ack). Re-affirm the focal client's home before acking: a
+		// handoff flap in the other direction may have left it stale,
+		// and the sender's retry proves it believes the query lives
+		// here now.
+		m.home[v.Addr] = m.id
 		m.deps.Link.Send(m.id, from, protocol.QueryHandoffAck{Query: q})
 		return
 	}
@@ -532,12 +811,14 @@ func (m *Member) HandleLink(from, to int, msg protocol.Message) {
 	case protocol.NodeRelay:
 		m.routeUplink(v.Origin, v.Inner, int(v.Hops), false)
 	case protocol.NodeDeliver:
-		// Deliver if the client is attached here, else drop: forwarding
-		// on a possibly-stale home belief risks ping-pong between nodes,
-		// and a lost downlink is healed by the resync path.
-		if m.attach[v.To] {
-			m.deps.Radio.Downlink(v.To, v.Inner)
-		}
+		// Hand the payload to this node's radio regardless of the attach
+		// set: on connection-oriented media the client may hold a live
+		// connection without having uplinked yet, and a truly absent
+		// client is metered as a transport drop. What a NodeDeliver must
+		// never do is forward AGAIN on this node's own home belief — that
+		// is what risks ping-pong between nodes with diverged beliefs —
+		// so it goes straight to the radio, not through memberSide.
+		m.deps.Radio.Downlink(v.To, v.Inner)
 	case protocol.ObjectHandoff:
 		m.handleObjectHandoff(v)
 	case protocol.QueryHandoff:
@@ -551,6 +832,29 @@ func (m *Member) HandleLink(from, to int, msg protocol.Message) {
 		m.server.HandleClientGone(v.Object)
 		for q := range cloneQuerySet(m.aware[v.Object]) {
 			m.clearAware(v.Object, q)
+		}
+	case protocol.NodeLoad:
+		if m.bal != nil && int(v.Node) < len(m.peerLoads) && int(v.Node) != m.id {
+			m.peerLoads[v.Node] = nodeLoadSample{
+				seen:    true,
+				version: v.Version,
+				pop:     int(v.Population),
+				queries: int(v.Queries),
+				busyUS:  v.BusyUS,
+			}
+		}
+	case protocol.PartitionUpdate:
+		m.handlePartitionUpdate(from, v)
+	case protocol.PartitionAck:
+		if pp := m.pendingPart; pp != nil && v.Version == pp.version && int(v.Node) < len(pp.acked) {
+			pp.acked[v.Node] = true
+			done := true
+			for _, a := range pp.acked {
+				done = done && a
+			}
+			if done {
+				m.pendingPart = nil
+			}
 		}
 	}
 }
@@ -581,6 +885,34 @@ func (m *Member) handleForward(from int, v protocol.NodeForward) {
 
 // ---------------------------------------------------------------------------
 // Disconnect handling
+
+// HandleClientAttached implements transport.AttachHandler for this
+// node's radio: a completed handshake is ground truth that the client is
+// reachable here, so it enters the attach set immediately — before any
+// uplink. Query clients in particular can hold a connection for their
+// whole lifetime without sending another frame; were attachment
+// uplink-driven only, unicast deliveries (answers, redirects) addressed
+// to them would be refused as "not attached" while the radio holds a
+// perfectly live connection.
+//
+// The handshake greeting also pushes the current partition map when it
+// has evolved. A client can dial with an arbitrarily stale routing
+// belief (it missed update broadcasts while detached, or teleported
+// while silent); if it picked the wrong node it hears no install traffic
+// there and, sending nothing, would never be redirected — the greeting
+// is the heal that lets its next dial decision aim correctly.
+func (m *Member) HandleClientAttached(id model.ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attach[id] = true
+	if !m.balanceOn || m.part.Version() == 0 {
+		return
+	}
+	m.deps.Radio.Downlink(id, protocol.PartitionUpdate{
+		Version: m.part.Version(),
+		Owners:  ownersToWire(m.part.Owners()),
+	})
+}
 
 // HandleClientGone implements transport.DisconnectHandler for this
 // node's radio. The crucial federation rule: purge only when this node
@@ -631,7 +963,7 @@ func (s memberSide) Downlink(to model.ObjectID, msg protocol.Message) {
 		return
 	}
 	if home, ok := m.home[to]; ok && home != m.id {
-		m.deps.Link.Send(m.id, home, protocol.NodeDeliver{To: to, Inner: msg})
+		m.deps.Link.Send(m.id, home, protocol.NodeDeliver{To: to, Version: m.part.Version(), Inner: msg})
 		return
 	}
 	// Not attached and no better belief: send on the radio anyway (the
@@ -663,9 +995,10 @@ func (s memberSide) Broadcast(region geo.Circle, msg protocol.Message) {
 	}
 	for _, peer := range targets {
 		m.deps.Link.Send(m.id, peer, protocol.NodeForward{
-			Home:   uint16(m.id),
-			Region: region,
-			Inner:  msg,
+			Home:    uint16(m.id),
+			Version: m.part.Version(),
+			Region:  region,
+			Inner:   msg,
 		})
 		if !cancel {
 			sp := m.spread[q]
@@ -681,4 +1014,5 @@ func (s memberSide) Broadcast(region geo.Circle, msg protocol.Message) {
 var (
 	_ transport.ServerHandler     = (*Member)(nil)
 	_ transport.DisconnectHandler = (*Member)(nil)
+	_ transport.AttachHandler     = (*Member)(nil)
 )

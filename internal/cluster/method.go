@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dmknn/internal/balance"
 	"dmknn/internal/core"
 	"dmknn/internal/geo"
 	"dmknn/internal/grid"
@@ -17,13 +18,15 @@ import (
 // cannot tell how many nodes serve them; only the server's interior
 // (partition, link, per-node servers) differs.
 type Method struct {
-	cfg     core.Config
-	n       int
-	linkCfg LinkConfig
-	cluster *Cluster
-	link    *MemLink
-	agents  []*core.ObjectAgent
-	qcs     []*core.QueryAgent
+	cfg      core.Config
+	n        int
+	linkCfg  LinkConfig
+	adaptive bool
+	balCfg   balance.Config
+	cluster  *Cluster
+	link     *MemLink
+	agents   []*core.ObjectAgent
+	qcs      []*core.QueryAgent
 }
 
 var _ sim.Method = (*Method)(nil)
@@ -42,8 +45,26 @@ func NewMethod(n int, cfg core.Config, linkCfg LinkConfig) (*Method, error) {
 	return &Method{cfg: cfg, n: n, linkCfg: linkCfg}, nil
 }
 
+// NewAdaptiveMethod returns the federation method with the load balancer
+// enabled: the partition starts even and evolves under bcfg as the
+// workload skews.
+func NewAdaptiveMethod(n int, cfg core.Config, linkCfg LinkConfig, bcfg balance.Config) (*Method, error) {
+	m, err := NewMethod(n, cfg, linkCfg)
+	if err != nil {
+		return nil, err
+	}
+	m.adaptive = true
+	m.balCfg = bcfg
+	return m, nil
+}
+
 // Name implements sim.Method.
-func (m *Method) Name() string { return "dknn-cluster" }
+func (m *Method) Name() string {
+	if m.adaptive {
+		return "dknn-cluster-adaptive"
+	}
+	return "dknn-cluster"
+}
 
 // Setup implements sim.Method.
 func (m *Method) Setup(env *sim.Env) error {
@@ -56,11 +77,15 @@ func (m *Method) Setup(env *sim.Env) error {
 	// A cross-boundary exchange pays radio latency plus link latency;
 	// both servers and clients size their reply deadlines from the total.
 	latency := env.LatencyTicks + m.linkCfg.LatencyTicks
+	// The radio cell filters read the partition through the shared ref,
+	// not a captured value, so a balancer-driven column move retargets
+	// every node's broadcast surface the instant the map is installed.
+	ref := NewPartitionRef(part)
 	cl, err := New(part, m.cfg, Deps{
 		Link: m.link,
 		Radio: func(node int) transport.ServerSide {
 			return env.Net.RestrictedServerSide(func(c grid.Cell) bool {
-				return part.CellOwner(c) == node
+				return ref.Load().CellOwner(c) == node
 			})
 		},
 		Now:            env.Net.Now,
@@ -69,9 +94,13 @@ func (m *Method) Setup(env *sim.Env) error {
 		MaxQuerySpeed:  env.MaxQuerySpeed,
 		LatencyTicks:   latency,
 		Trace:          env.Trace,
+		PartRef:        ref,
 	})
 	if err != nil {
 		return err
+	}
+	if m.adaptive {
+		cl.EnableBalancer(m.balCfg)
 	}
 	m.cluster = cl
 	m.link.OnDeliver(cl.HandleLink)
@@ -172,11 +201,13 @@ func (m *Method) ServerTime() time.Duration {
 }
 
 // ExtraMetrics implements sim.ExtraReporter with the federation-level
-// cumulative counters: link traffic and handoff events.
+// cumulative counters: link traffic, handoff events, balancer moves, and
+// each node's cumulative busy time (the engine diffs these over the
+// measured phase, so experiments can derive per-node load imbalance).
 func (m *Method) ExtraMetrics() map[string]float64 {
 	ls := m.link.Stats()
 	cs := m.cluster.Stats()
-	return map[string]float64{
+	out := map[string]float64{
 		"link_sent":       float64(ls.Sent),
 		"link_delivered":  float64(ls.Delivered),
 		"link_dropped":    float64(ls.Dropped),
@@ -184,5 +215,10 @@ func (m *Method) ExtraMetrics() map[string]float64 {
 		"object_handoffs": float64(cs.ObjectHandoffs),
 		"query_handoffs":  float64(cs.QueryHandoffs),
 		"relay_drops":     float64(cs.RelayDrops),
+		"column_moves":    float64(cs.ColumnMoves),
 	}
+	for i := 0; i < m.n; i++ {
+		out[fmt.Sprintf("node%d_busy_us", i)] = float64(m.cluster.Node(i).BusyTime().Microseconds())
+	}
+	return out
 }

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"slices"
+	"testing"
+
+	"dmknn/internal/geo"
+	"dmknn/internal/grid"
+)
+
+// Edge-case coverage for the partition math that TestPartitionMath's
+// interior sweeps do not reach: degenerate node counts, exact strip
+// boundaries, out-of-world points, and multi-strip broadcast straddles —
+// plus the MoveColumn/PartitionFromOwners surface the balancer drives.
+
+func partGeom() grid.Geometry {
+	return grid.NewGeometry(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 16, 16)
+}
+
+func TestNewPartitionRejectsDegenerateNodeCounts(t *testing.T) {
+	geom := partGeom()
+	if _, err := NewPartition(geom, 0); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := NewPartition(geom, -3); err == nil {
+		t.Error("negative node count accepted")
+	}
+	// More nodes than columns: some node would own no cells, so no
+	// restricted broadcast could ever reach its clients.
+	if _, err := NewPartition(geom, 17); err == nil {
+		t.Error("17 nodes over 16 columns accepted")
+	}
+	if p, err := NewPartition(geom, 16); err != nil || p.Nodes() != 16 {
+		t.Errorf("one-column-per-node partition rejected: %v", err)
+	}
+}
+
+func TestNodeOfExactStripBoundaries(t *testing.T) {
+	geom := partGeom()
+	p, err := NewPartition(geom, 4) // strips at x = 0, 250, 500, 750
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point exactly on a strip boundary belongs to the right strip:
+	// NodeOf must agree with CellOf's half-open cell intervals so
+	// ownership and broadcast clipping never disagree.
+	for i, x := range []float64{0, 250, 500, 750} {
+		pt := geo.Pt(x, 500)
+		if got := p.NodeOf(pt); got != i {
+			t.Errorf("NodeOf(%v) = %d, want %d", pt, got, i)
+		}
+		if got, want := p.NodeOf(pt), p.CellOwner(geom.CellOf(pt)); got != want {
+			t.Errorf("NodeOf(%v) = %d disagrees with CellOwner %d", pt, got, want)
+		}
+	}
+	// The world's right edge clamps into the last column, not out of range.
+	if got := p.NodeOf(geo.Pt(1000, 500)); got != 3 {
+		t.Errorf("NodeOf(right edge) = %d, want 3", got)
+	}
+}
+
+func TestNodeOfOutOfWorldPoints(t *testing.T) {
+	p, err := NewPartition(partGeom(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pt   geo.Point
+		want int
+	}{
+		{geo.Pt(-500, 500), 0}, // west of the world → leftmost strip
+		{geo.Pt(2000, 500), 3}, // east of the world → rightmost strip
+		{geo.Pt(300, -100), 1}, // north/south overflow keeps the x strip
+		{geo.Pt(300, 5000), 1},
+		{geo.Pt(-1, -1), 0}, // corner overflow
+		{geo.Pt(10000, 10000), 3},
+	}
+	for _, c := range cases {
+		if got := p.NodeOf(c.pt); got != c.want {
+			t.Errorf("NodeOf(%v) = %d, want %d", c.pt, got, c.want)
+		}
+	}
+}
+
+func TestVisitIntersectingThreeStripStraddle(t *testing.T) {
+	p, err := NewPartition(partGeom(), 4) // 250-wide strips
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A circle centered in strip 1 wide enough to poke into strips 0 and
+	// 2 but not 3.
+	region := geo.Circle{Center: geo.Pt(375, 500), R: 200}
+	var got []int
+	p.VisitIntersecting(region, func(n int) { got = append(got, n) })
+	if want := []int{0, 1, 2}; !slices.Equal(got, want) {
+		t.Errorf("VisitIntersecting(%v) = %v, want %v", region, got, want)
+	}
+	// Degenerate regions visit nothing.
+	p.VisitIntersecting(geo.Circle{Center: geo.Pt(375, 500), R: -1}, func(n int) {
+		t.Errorf("negative-radius region visited node %d", n)
+	})
+}
+
+func TestMoveColumnShiftsBoundary(t *testing.T) {
+	geom := partGeom()
+	p, err := NewPartition(geom, 4) // columns 0-3, 4-7, 8-11, 12-15
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() != 0 {
+		t.Fatalf("fresh partition version = %d", p.Version())
+	}
+	np, err := p.MoveColumn(3, 1) // node 0's right boundary column → node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Version() != 1 {
+		t.Fatalf("version after move = %d, want 1", np.Version())
+	}
+	if got := np.CellOwner(grid.Cell{Col: 3, Row: 0}); got != 1 {
+		t.Fatalf("column 3 owned by %d after move, want 1", got)
+	}
+	// The original partition is untouched (copy-on-write).
+	if got := p.CellOwner(grid.Cell{Col: 3, Row: 0}); got != 0 {
+		t.Fatalf("MoveColumn mutated the source partition (column 3 → %d)", got)
+	}
+	// Regions follow the columns: the 0/1 boundary moved from 250 to 187.5.
+	if np.Region(0).Max.X != np.Region(1).Min.X {
+		t.Fatalf("gap between strips after move: %v vs %v", np.Region(0), np.Region(1))
+	}
+	if np.Region(0).Max.X >= p.Region(0).Max.X {
+		t.Fatalf("strip 0 did not shrink: %v", np.Region(0))
+	}
+	// NodeOf follows: a point in column 3 now belongs to node 1.
+	if got := np.NodeOf(geo.Pt(230, 500)); got != 1 {
+		t.Fatalf("NodeOf(column 3) = %d after move, want 1", got)
+	}
+	// Strips still tile the world.
+	if np.Region(0).Min.X != 0 || np.Region(3).Max.X != 1000 {
+		t.Fatal("strips no longer span the world after move")
+	}
+}
+
+func TestMoveColumnRejectsIllegalMoves(t *testing.T) {
+	p, err := NewPartition(partGeom(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MoveColumn(-1, 1); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := p.MoveColumn(16, 1); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := p.MoveColumn(3, 4); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := p.MoveColumn(3, 0); err == nil {
+		t.Error("no-op move accepted")
+	}
+	// Column 3 (node 0) is not adjacent to node 2's strip.
+	if _, err := p.MoveColumn(3, 2); err == nil {
+		t.Error("non-adjacent move accepted")
+	}
+	// An interior column may not move even to the adjacent node: strips
+	// must stay contiguous.
+	if _, err := p.MoveColumn(2, 1); err == nil {
+		t.Error("interior-column move accepted")
+	}
+	// A single-column strip may not give up its last column.
+	single, err := NewPartition(partGeom(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.MoveColumn(5, 6); err == nil {
+		t.Error("last-column move accepted")
+	}
+}
+
+func TestPartitionFromOwnersRoundTrip(t *testing.T) {
+	geom := partGeom()
+	p, err := NewPartition(geom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk a few moves, rebuild from the owner array at each step, and
+	// check the rebuilt partition matches the moved one everywhere.
+	for _, mv := range []struct{ col, to int }{{3, 1}, {7, 2}, {3, 0}} {
+		np, err := p.MoveColumn(mv.col, mv.to)
+		if err != nil {
+			t.Fatalf("MoveColumn(%d,%d): %v", mv.col, mv.to, err)
+		}
+		rebuilt, err := PartitionFromOwners(geom, np.Owners(), np.Nodes(), np.Version())
+		if err != nil {
+			t.Fatalf("PartitionFromOwners after (%d,%d): %v", mv.col, mv.to, err)
+		}
+		if rebuilt.Version() != np.Version() {
+			t.Fatalf("rebuilt version %d != %d", rebuilt.Version(), np.Version())
+		}
+		if !slices.Equal(rebuilt.Owners(), np.Owners()) {
+			t.Fatal("rebuilt owners differ")
+		}
+		for i := 0; i < np.Nodes(); i++ {
+			if rebuilt.Region(i) != np.Region(i) {
+				t.Fatalf("rebuilt region %d = %v, want %v", i, rebuilt.Region(i), np.Region(i))
+			}
+		}
+		p = np
+	}
+}
+
+func TestPartitionFromOwnersRejectsCorruptMaps(t *testing.T) {
+	geom := partGeom()
+	bad := [][]int{
+		{0, 0, 1, 1}, // wrong length
+		nil,          // empty
+		{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 0}, // non-contiguous
+		{1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2, 3, 3, 3, 3}, // strips out of node order
+		{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}, // node 3 owns nothing
+		{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 4, 4, 4, 4}, // owner out of range
+	}
+	for _, owners := range bad {
+		if _, err := PartitionFromOwners(geom, owners, 4, 1); err == nil {
+			t.Errorf("corrupt owner array %v accepted", owners)
+		}
+	}
+	if _, err := PartitionFromOwners(geom, evenOwners16(4), 0, 1); err == nil {
+		t.Error("zero node count accepted")
+	}
+}
+
+// evenOwners16 mirrors NewPartition's even division over 16 columns.
+func evenOwners16(nodes int) []int {
+	owners := make([]int, 16)
+	base, rem := 16/nodes, 16%nodes
+	col := 0
+	for i := 0; i < nodes; i++ {
+		w := base
+		if i < rem {
+			w++
+		}
+		for j := 0; j < w; j++ {
+			owners[col+j] = i
+		}
+		col += w
+	}
+	return owners
+}

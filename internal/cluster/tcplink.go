@@ -85,10 +85,12 @@ type TCPLink struct {
 	ln      net.Listener
 	deliver func(from, to int, m protocol.Message)
 
-	mu    sync.Mutex
-	peers []*peerConn // indexed by node id; [self] unused
-	stats LinkStats
-	closed bool
+	mu      sync.Mutex
+	peers   []*peerConn // indexed by node id; [self] unused
+	stats   LinkStats
+	closed  bool
+	version func() uint64                  // stamped into outgoing hellos
+	onHello func(peer int, version uint64) // observes peer hello versions
 
 	wg sync.WaitGroup
 }
@@ -139,6 +141,35 @@ func (l *TCPLink) OnDeliver(fn func(from, to int, m protocol.Message)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.deliver = fn
+}
+
+// SetVersion installs the supplier whose value is stamped into outgoing
+// PeerHello frames (the partition map version in a balance-enabled
+// federation). Nil leaves hellos at version 0.
+func (l *TCPLink) SetVersion(fn func() uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.version = fn
+}
+
+// OnHello installs an observer of peer hello versions, invoked from
+// session goroutines once a handshake completes (after the session is
+// live, so the observer may send to the peer) and for every in-session
+// PeerHello frame. A balance-enabled Member uses it to push the current
+// partition map to peers that handshake with a stale version.
+func (l *TCPLink) OnHello(fn func(peer int, version uint64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onHello = fn
+}
+
+func (l *TCPLink) notifyHello(peer int, version uint64) {
+	l.mu.Lock()
+	fn := l.onHello
+	l.mu.Unlock()
+	if fn != nil {
+		fn(peer, version)
+	}
 }
 
 // Send implements Link: write the frame to the peer's live connection,
@@ -233,7 +264,14 @@ func (l *TCPLink) hello() protocol.PeerHello {
 	if l.cfg.Now != nil {
 		at = l.cfg.Now()
 	}
-	return protocol.PeerHello{Node: uint16(l.cfg.Node), Nodes: uint16(len(l.cfg.Addrs)), At: at}
+	h := protocol.PeerHello{Node: uint16(l.cfg.Node), Nodes: uint16(len(l.cfg.Addrs)), At: at}
+	l.mu.Lock()
+	ver := l.version
+	l.mu.Unlock()
+	if ver != nil {
+		h.Version = ver()
+	}
+	return h
 }
 
 // ---------------------------------------------------------------------------
@@ -252,35 +290,35 @@ func (l *TCPLink) acceptLoop() {
 		l.wg.Add(1)
 		go func(c net.Conn) {
 			defer l.wg.Done()
-			peer, err := l.acceptHandshake(c)
+			peer, ver, err := l.acceptHandshake(c)
 			if err != nil {
 				c.Close()
 				return
 			}
-			l.runSession(peer, c)
+			l.runSession(peer, ver, c)
 		}(c)
 	}
 }
 
-func (l *TCPLink) acceptHandshake(c net.Conn) (int, error) {
+func (l *TCPLink) acceptHandshake(c net.Conn) (int, uint64, error) {
 	c.SetReadDeadline(time.Now().Add(3 * l.cfg.Heartbeat))
 	m, err := readPeerFrame(c)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	c.SetReadDeadline(time.Time{})
 	hello, ok := m.(protocol.PeerHello)
 	if !ok {
-		return 0, fmt.Errorf("cluster: peer opened with %v, want peer-hello", m.Kind())
+		return 0, 0, fmt.Errorf("cluster: peer opened with %v, want peer-hello", m.Kind())
 	}
 	peer := int(hello.Node)
 	if int(hello.Nodes) != len(l.cfg.Addrs) || peer >= l.cfg.Node || peer < 0 {
-		return 0, fmt.Errorf("cluster: bad peer hello node=%d nodes=%d", hello.Node, hello.Nodes)
+		return 0, 0, fmt.Errorf("cluster: bad peer hello node=%d nodes=%d", hello.Node, hello.Nodes)
 	}
 	if err := writePeerFrame(c, l.hello(), l.cfg.WriteTimeout); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return peer, nil
+	return peer, hello.Version, nil
 }
 
 // dialLoop keeps the session to a higher-numbered peer alive: dial,
@@ -289,7 +327,7 @@ func (l *TCPLink) dialLoop(peer int) {
 	defer l.wg.Done()
 	backoff := l.cfg.DialBackoffMin
 	for !l.isClosed() {
-		c, err := l.dialHandshake(peer)
+		c, ver, err := l.dialHandshake(peer)
 		if err != nil {
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > l.cfg.DialBackoffMax {
@@ -298,39 +336,39 @@ func (l *TCPLink) dialLoop(peer int) {
 			continue
 		}
 		backoff = l.cfg.DialBackoffMin
-		l.runSession(peer, c)
+		l.runSession(peer, ver, c)
 	}
 }
 
-func (l *TCPLink) dialHandshake(peer int) (net.Conn, error) {
+func (l *TCPLink) dialHandshake(peer int) (net.Conn, uint64, error) {
 	c, err := net.DialTimeout("tcp", l.cfg.Addrs[peer], 3*l.cfg.Heartbeat)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := writePeerFrame(c, l.hello(), l.cfg.WriteTimeout); err != nil {
 		c.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	c.SetReadDeadline(time.Now().Add(3 * l.cfg.Heartbeat))
 	m, err := readPeerFrame(c)
 	if err != nil {
 		c.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	c.SetReadDeadline(time.Time{})
 	hello, ok := m.(protocol.PeerHello)
 	if !ok || int(hello.Node) != peer || int(hello.Nodes) != len(l.cfg.Addrs) {
 		c.Close()
-		return nil, fmt.Errorf("cluster: bad hello reply from peer %d: %#v", peer, m)
+		return nil, 0, fmt.Errorf("cluster: bad hello reply from peer %d: %#v", peer, m)
 	}
-	return c, nil
+	return c, hello.Version, nil
 }
 
 // runSession installs c as the peer's live connection, pumps heartbeats,
 // and reads frames until the connection dies; a read silent for three
 // heartbeat intervals counts as death. Returns after tearing the session
 // down (the dial loop redials; the accept loop waits for the peer to).
-func (l *TCPLink) runSession(peer int, c net.Conn) {
+func (l *TCPLink) runSession(peer int, ver uint64, c net.Conn) {
 	p := l.peers[peer]
 	p.mu.Lock()
 	if p.conn != nil {
@@ -338,6 +376,10 @@ func (l *TCPLink) runSession(peer int, c net.Conn) {
 	}
 	p.conn = c
 	p.mu.Unlock()
+
+	// Surface the handshake's map version only once the session is live,
+	// so the observer can answer over the link it was notified on.
+	l.notifyHello(peer, ver)
 
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
@@ -368,9 +410,12 @@ func (l *TCPLink) runSession(peer int, c net.Conn) {
 		if err != nil {
 			break
 		}
-		switch m.(type) {
-		case protocol.PeerHeartbeat, protocol.PeerHello:
+		switch v := m.(type) {
+		case protocol.PeerHeartbeat:
 			continue // liveness only; the deadline reset is the effect
+		case protocol.PeerHello:
+			l.notifyHello(peer, v.Version) // in-session version refresh
+			continue
 		}
 		l.mu.Lock()
 		fn := l.deliver

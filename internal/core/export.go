@@ -67,6 +67,12 @@ func (s *Server) ExportMonitor(q model.QueryID) (MonitorState, bool) {
 	if !ok || mon.probing {
 		return MonitorState{}, false
 	}
+	return s.exportLocked(q, mon), true
+}
+
+// exportLocked snapshots mon and removes it from the server's tables.
+// Callers hold s.mu and have already rejected probing monitors.
+func (s *Server) exportLocked(q model.QueryID, mon *monitor) MonitorState {
 	st := MonitorState{
 		Query:        mon.query,
 		K:            mon.k,
@@ -100,7 +106,41 @@ func (s *Server) ExportMonitor(q model.QueryID) (MonitorState, bool) {
 	if i, found := slices.BinarySearch(s.order, q); found {
 		s.order = slices.Delete(s.order, i, i+1)
 	}
-	return st, true
+	return st
+}
+
+// ExportedMonitor pairs a bulk-exported snapshot with the focal track
+// estimate the leave predicate saw, so the caller routes the snapshot
+// without re-deriving the estimate from the (already removed) monitor.
+type ExportedMonitor struct {
+	State MonitorState
+	Est   geo.Point
+}
+
+// ExportMonitorsWhere bulk-exports every monitor whose dead-reckoned
+// focal estimate at now satisfies leave, under a single lock acquisition
+// — the column-migration path of an adaptive partition, where one map
+// change moves many monitors at once. Monitors are visited in query-id
+// order, so the export sequence (and hence the wire traffic it produces)
+// is deterministic. Probing monitors are skipped exactly like
+// ExportMonitor refuses them; the caller's next sweep picks them up.
+func (s *Server) ExportMonitorsWhere(now model.Tick, leave func(q model.QueryID, est geo.Point) bool) []ExportedMonitor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ExportedMonitor
+	// exportLocked mutates s.order; walk a snapshot of it.
+	for _, q := range slices.Clone(s.order) {
+		mon := s.monitors[q]
+		if mon.probing {
+			continue
+		}
+		est := mon.qEst(now, s.deps.DT)
+		if !leave(q, est) {
+			continue
+		}
+		out = append(out, ExportedMonitor{State: s.exportLocked(q, mon), Est: est})
+	}
+	return out
 }
 
 // ImportMonitor installs a migrated monitor and immediately re-baselines

@@ -11,12 +11,14 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"dmknn/internal/balance"
 	"dmknn/internal/baseline"
 	"dmknn/internal/cluster"
 	"dmknn/internal/core"
@@ -84,6 +86,42 @@ var (
 	}}
 	MetricHandoff = Metric{"handoffs", func(r *sim.Result) float64 {
 		return r.Extra["object_handoffs"] + r.Extra["query_handoffs"]
+	}}
+	// MetricLoadCV is the coefficient of variation (stddev/mean) of the
+	// federation nodes' measured-phase busy time, read from the per-node
+	// counters a clustered method exports — 0 means a perfectly even
+	// load, and 0 for single-server methods.
+	MetricLoadCV = Metric{"load cv", func(r *sim.Result) float64 {
+		var busy []float64
+		for i := 0; ; i++ {
+			v, ok := r.Extra[fmt.Sprintf("node%d_busy_us", i)]
+			if !ok {
+				break
+			}
+			busy = append(busy, v)
+		}
+		if len(busy) < 2 {
+			return 0
+		}
+		var mean float64
+		for _, v := range busy {
+			mean += v
+		}
+		mean /= float64(len(busy))
+		if mean == 0 {
+			return 0
+		}
+		var ss float64
+		for _, v := range busy {
+			d := v - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss/float64(len(busy))) / mean
+	}}
+	// MetricMoves counts the balancer's applied column moves (0 for
+	// static partitions).
+	MetricMoves = Metric{"col moves", func(r *sim.Result) float64 {
+		return r.Extra["column_moves"]
 	}}
 	// The staleness and report-gap metrics read the observability
 	// histograms a run collects when its config sets Observe; they are
@@ -513,6 +551,7 @@ func Suite(p Profile) []*Experiment {
 		p.Fig19LargeScale(),
 		p.Fig20ClusterScaling(),
 		p.Fig21Staleness(),
+		p.Fig22AdaptiveBalance(),
 		p.Table3Accuracy(),
 		p.Table4Mobility(),
 	}
@@ -882,6 +921,53 @@ func (p Profile) Fig21Staleness() *Experiment {
 		cfg.BroadcastLoss = loss
 		cfg.Observe = true
 		e.Points = append(e.Points, Point{fmt.Sprintf("%.0f%%", loss*100), cfg})
+	}
+	return e
+}
+
+// Fig22AdaptiveBalance: adaptive partitioning (internal/balance) against
+// the static even split under hotspot-clustered skew, for each
+// federation size. The static strips leave the hotspot node doing nearly
+// all the work; the balancer shifts boundary columns toward it, so the
+// load-CV column (stddev/mean of per-node busy time) and the server p99
+// tail should both fall — while the exactness column pins the migration
+// invariant: every audited answer stays exact on the very ticks columns
+// move. The link is ideal (zero latency, no loss), matching fig20.
+func (p Profile) Fig22AdaptiveBalance() *Experiment {
+	bcfg := balance.Config{IntervalTicks: 8, MinGain: 0.02}
+	mkStatic := func(n int) MethodSpec {
+		return MethodSpec{
+			Name: fmt.Sprintf("static[%d nodes]", n),
+			Build: func() (sim.Method, error) {
+				return cluster.NewMethod(n, p.Proto, cluster.LinkConfig{})
+			},
+		}
+	}
+	mkAdaptive := func(n int) MethodSpec {
+		return MethodSpec{
+			Name: fmt.Sprintf("adaptive[%d nodes]", n),
+			Build: func() (sim.Method, error) {
+				return cluster.NewAdaptiveMethod(n, p.Proto, cluster.LinkConfig{}, bcfg)
+			},
+		}
+	}
+	e := &Experiment{
+		ID: "fig22", Title: "Adaptive partitioning under hotspot skew: load balance vs static strips",
+		XLabel:  "workload",
+		Metrics: []Metric{MetricLoadCV, MetricServLatP99, MetricMoves, MetricExact},
+		// Wall-clock metrics (busy time, latency tail), and the nodes
+		// already tick on parallel goroutines inside each cell.
+		Serial: true,
+	}
+	for _, n := range p.Nodes {
+		if n < 2 {
+			continue // a single node is trivially balanced
+		}
+		e.Methods = append(e.Methods, mkStatic(n), mkAdaptive(n))
+	}
+	if cfg, err := workload.WithMobility(p.Base, workload.ModelHotspot); err == nil {
+		cfg.Observe = true
+		e.Points = append(e.Points, Point{workload.ModelHotspot, cfg})
 	}
 	return e
 }

@@ -34,8 +34,8 @@ func tiny() Profile {
 
 func TestSuiteStructure(t *testing.T) {
 	suite := Suite(tiny())
-	if len(suite) != 19 {
-		t.Fatalf("suite has %d experiments, want 19", len(suite))
+	if len(suite) != 20 {
+		t.Fatalf("suite has %d experiments, want 20", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, e := range suite {
@@ -55,7 +55,7 @@ func TestSuiteStructure(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table3", "table4"} {
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table3", "table4"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}
@@ -153,6 +153,46 @@ func TestFig21RunShapeAndDeterminism(t *testing.T) {
 	}
 	if tbl.CSV() != again.CSV() {
 		t.Errorf("fig21 not deterministic:\n%s\n---\n%s", tbl.CSV(), again.CSV())
+	}
+}
+
+// Fig22 compares static and adaptive partitioning under hotspot skew:
+// at test scale the adaptive federation must actually move columns, both
+// variants must stay exact (the migration-safety invariant rendered as a
+// table column), and the static one must never move anything.
+func TestFig22RunAndShape(t *testing.T) {
+	p := tiny()
+	p.Nodes = []int{1, 4} // 1 is skipped: a single node cannot rebalance
+	p.Base.Ticks = 60
+	tbl, err := p.Fig22AdaptiveBalance().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tbl.Rows))
+	}
+	for _, name := range []string{"static[4 nodes] exactness", "adaptive[4 nodes] exactness"} {
+		vals, ok := tbl.Column(name)
+		if !ok {
+			t.Fatalf("no %q column in %v", name, tbl.Columns)
+		}
+		if vals[0] != 1.0 {
+			t.Errorf("%s = %v, want 1.00", name, vals[0])
+		}
+	}
+	staticMoves, ok := tbl.Column("static[4 nodes] col moves")
+	if !ok {
+		t.Fatalf("no static col-moves column in %v", tbl.Columns)
+	}
+	if staticMoves[0] != 0 {
+		t.Errorf("static federation moved %v columns", staticMoves[0])
+	}
+	adaptiveMoves, ok := tbl.Column("adaptive[4 nodes] col moves")
+	if !ok {
+		t.Fatalf("no adaptive col-moves column in %v", tbl.Columns)
+	}
+	if adaptiveMoves[0] <= 0 {
+		t.Errorf("adaptive federation moved %v columns, want > 0", adaptiveMoves[0])
 	}
 }
 
@@ -347,7 +387,7 @@ func TestSerialExperimentsAndWorkerStamp(t *testing.T) {
 	p.Workers = 3
 	serialIDs := map[string]bool{
 		"fig10": true, "fig13": true, "fig14": true, "fig15": true, "fig16": true,
-		"fig19": true, "fig20": true,
+		"fig19": true, "fig20": true, "fig22": true,
 	}
 	for _, e := range Suite(p) {
 		if e.Serial != serialIDs[e.ID] {

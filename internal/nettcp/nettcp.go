@@ -236,7 +236,11 @@ func (s *Server) serveConn(c net.Conn) {
 		old.c.Close() // a reconnect replaces the previous session
 	}
 	s.conns[id] = sc
+	ah := s.handler
 	s.mu.Unlock()
+	if a, ok := ah.(transport.AttachHandler); ok {
+		a.HandleClientAttached(id)
+	}
 
 	defer func() {
 		c.Close()

@@ -71,6 +71,10 @@ const (
 	// EvRelayDropped: a federation relay exceeded its hop budget or had
 	// no owner and was dropped.
 	EvRelayDropped
+	// EvColumnMoved: the balancer reassigned a grid-cell column between
+	// adjacent federation nodes. Node is the donor, Value the receiver,
+	// Seq the new partition map version.
+	EvColumnMoved
 	// EvNetSend: the simulated medium accepted a message for delivery.
 	// Dir is the metrics direction, Kind the message kind.
 	EvNetSend
@@ -97,6 +101,7 @@ var eventNames = [numEventTypes]string{
 	EvObjectHandoffBegun: "object-handoff-begun",
 	EvHandoffAcked:       "handoff-acked",
 	EvRelayDropped:       "relay-dropped",
+	EvColumnMoved:        "column-moved",
 	EvNetSend:            "net-send",
 	EvNetDeliver:         "net-deliver",
 	EvNetDrop:            "net-drop",

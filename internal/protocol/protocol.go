@@ -124,6 +124,24 @@ const (
 	// position (carried as that node's client listen address). Downlink.
 	KindNodeRedirect
 
+	// The remaining kinds belong to the adaptive partitioning plane
+	// (internal/balance): load telemetry and partition map distribution.
+
+	// KindNodeLoad reports one node's load sample (population, query
+	// count, cumulative server busy time) to the balance coordinator.
+	// Peer wire.
+	KindNodeLoad
+	// KindPartitionUpdate distributes a new partition map (version plus
+	// the per-column owner array). It travels on the peer wire from the
+	// coordinator to every node, and as a broadcast from a node to its
+	// attached clients so they re-aim their supervise loops. Peer wire
+	// and broadcast.
+	KindPartitionUpdate
+	// KindPartitionAck confirms a node applied a PartitionUpdate, letting
+	// the coordinator stop retrying and unblock the next rebalance
+	// decision. Peer wire.
+	KindPartitionAck
+
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -153,6 +171,9 @@ var kindNames = map[Kind]string{
 	KindPeerHello:       "peer-hello",
 	KindPeerHeartbeat:   "peer-heartbeat",
 	KindNodeRedirect:    "node-redirect",
+	KindNodeLoad:        "node-load",
+	KindPartitionUpdate: "partition-update",
+	KindPartitionAck:    "partition-ack",
 }
 
 // String implements fmt.Stringer.
@@ -387,11 +408,15 @@ func (AnswerResync) Kind() Kind { return KindAnswerResync }
 // to relay the reports the rebroadcast provokes. Region is the broadcast
 // region as known at the home node — MonitorCancel does not carry one on
 // the radio, so the envelope is authoritative for all three inner kinds.
-// Inner must be a ProbeRequest, MonitorInstall, or MonitorCancel.
+// Version is the sender's partition map version at routing time; a
+// receiver on a newer map treats the envelope as a stale-route hint
+// rather than a routing error. Inner must be a ProbeRequest,
+// MonitorInstall, or MonitorCancel.
 type NodeForward struct {
-	Home   uint16
-	Region geo.Circle
-	Inner  Message
+	Home    uint16
+	Version uint64
+	Region  geo.Circle
+	Inner   Message
 }
 
 // Kind implements Message.
@@ -399,22 +424,26 @@ func (NodeForward) Kind() Kind { return KindNodeForward }
 
 // NodeRelay wraps a client uplink being forwarded between nodes. Origin
 // is the client that sent it; Hops bounds forwarding chains so routing
-// bugs cannot loop a message forever. Inner must be an uplink kind
-// (probe reply, membership report, or query lifecycle message).
+// bugs cannot loop a message forever. Version is the sender's partition
+// map version at routing time. Inner must be an uplink kind (probe
+// reply, membership report, or query lifecycle message).
 type NodeRelay struct {
-	Origin model.ObjectID
-	Hops   uint8
-	Inner  Message
+	Origin  model.ObjectID
+	Hops    uint8
+	Version uint64
+	Inner   Message
 }
 
 // Kind implements Message.
 func (NodeRelay) Kind() Kind { return KindNodeRelay }
 
 // NodeDeliver wraps a downlink for a client whose region belongs to
-// another node. Inner must be an AnswerUpdate or AnswerDelta.
+// another node. Version is the sender's partition map version at routing
+// time. Inner must be an AnswerUpdate or AnswerDelta.
 type NodeDeliver struct {
-	To    model.ObjectID
-	Inner Message
+	To      model.ObjectID
+	Version uint64
+	Inner   Message
 }
 
 // Kind implements Message.
@@ -503,12 +532,15 @@ func (NodeClientGone) Kind() Kind { return KindNodeClientGone }
 // the dialing side after the raw transport handshake. Node identifies the
 // sender; Nodes is its configured cluster size, which the acceptor checks
 // against its own so two differently-partitioned deployments cannot be
-// cross-wired. At is the sender's current tick, a coarse clock-skew
-// sanity signal.
+// cross-wired. Version is the sender's partition map version — the
+// map-version handshake: a peer that reconnects with an older version is
+// healed with a PartitionUpdate by the newer side. At is the sender's
+// current tick, a coarse clock-skew sanity signal.
 type PeerHello struct {
-	Node  uint16
-	Nodes uint16
-	At    model.Tick
+	Node    uint16
+	Nodes   uint16
+	Version uint64
+	At      model.Tick
 }
 
 // Kind implements Message.
@@ -536,6 +568,51 @@ type NodeRedirect struct {
 
 // Kind implements Message.
 func (NodeRedirect) Kind() Kind { return KindNodeRedirect }
+
+// ---------------------------------------------------------------------------
+// Adaptive partitioning plane (internal/balance)
+
+// NodeLoad is one node's load sample, sent to the balance coordinator
+// each tick while adaptive partitioning is enabled. Population and
+// Queries are instantaneous counts (attached clients, homed query
+// monitors); BusyUS is the node's cumulative server busy time in
+// microseconds since start, which the coordinator differences between
+// decisions to get a per-window rate. Version is the sender's partition
+// map version, so the coordinator only decides on samples that reflect
+// the current map.
+type NodeLoad struct {
+	Node       uint16
+	Version    uint64
+	Population uint32
+	Queries    uint32
+	BusyUS     uint64
+	At         model.Tick
+}
+
+// Kind implements Message.
+func (NodeLoad) Kind() Kind { return KindNodeLoad }
+
+// PartitionUpdate distributes a partition map: Version is the map's
+// monotonically increasing version and Owners the per-column owner node
+// ids (index = column). A receiver applies the map iff Version exceeds
+// its current one, and always acknowledges, so retries are idempotent.
+type PartitionUpdate struct {
+	Version uint64
+	Owners  []uint16
+}
+
+// Kind implements Message.
+func (PartitionUpdate) Kind() Kind { return KindPartitionUpdate }
+
+// PartitionAck confirms Node applied (or already had) the partition map
+// with the given version.
+type PartitionAck struct {
+	Node    uint16
+	Version uint64
+}
+
+// Kind implements Message.
+func (PartitionAck) Kind() Kind { return KindPartitionAck }
 
 // validForwardInner reports whether k may ride inside a NodeForward.
 func validForwardInner(k Kind) bool {
@@ -658,15 +735,18 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendTick(dst, v.At)
 	case NodeForward:
 		dst = appendU16(dst, v.Home)
+		dst = appendU64(dst, v.Version)
 		dst = appendPoint(dst, v.Region.Center)
 		dst = appendF64(dst, v.Region.R)
 		dst = Encode(dst, v.Inner) // nested: consumes the remainder
 	case NodeRelay:
 		dst = appendU32(dst, uint32(v.Origin))
 		dst = append(dst, v.Hops)
+		dst = appendU64(dst, v.Version)
 		dst = Encode(dst, v.Inner)
 	case NodeDeliver:
 		dst = appendU32(dst, uint32(v.To))
+		dst = appendU64(dst, v.Version)
 		dst = Encode(dst, v.Inner)
 	case ObjectHandoff:
 		dst = appendU32(dst, uint32(v.Object))
@@ -719,6 +799,7 @@ func Encode(dst []byte, m Message) []byte {
 	case PeerHello:
 		dst = appendU16(dst, v.Node)
 		dst = appendU16(dst, v.Nodes)
+		dst = appendU64(dst, v.Version)
 		dst = appendTick(dst, v.At)
 	case PeerHeartbeat:
 		dst = appendU16(dst, v.Node)
@@ -727,6 +808,22 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendU16(dst, v.Node)
 		dst = appendU16(dst, uint16(len(v.Addr)))
 		dst = append(dst, v.Addr...)
+	case NodeLoad:
+		dst = appendU16(dst, v.Node)
+		dst = appendU64(dst, v.Version)
+		dst = appendU32(dst, v.Population)
+		dst = appendU32(dst, v.Queries)
+		dst = appendU64(dst, v.BusyUS)
+		dst = appendTick(dst, v.At)
+	case PartitionUpdate:
+		dst = appendU64(dst, v.Version)
+		dst = appendU16(dst, uint16(len(v.Owners)))
+		for _, o := range v.Owners {
+			dst = appendU16(dst, o)
+		}
+	case PartitionAck:
+		dst = appendU16(dst, v.Node)
+		dst = appendU64(dst, v.Version)
 	default:
 		panic(fmt.Sprintf("protocol: Encode of unknown type %T", m))
 	}
@@ -763,11 +860,11 @@ func EncodedSize(m Message) int {
 	case AnswerResync:
 		return 1 + 4 + 4 + 8
 	case NodeForward:
-		return 1 + 2 + 16 + 8 + EncodedSize(v.Inner)
+		return 1 + 2 + 8 + 16 + 8 + EncodedSize(v.Inner)
 	case NodeRelay:
-		return 1 + 4 + 1 + EncodedSize(v.Inner)
+		return 1 + 4 + 1 + 8 + EncodedSize(v.Inner)
 	case NodeDeliver:
-		return 1 + 4 + EncodedSize(v.Inner)
+		return 1 + 4 + 8 + EncodedSize(v.Inner)
 	case ObjectHandoff:
 		return 1 + 4 + 16 + 16 + 8 + 2 + len(v.Aware)*6
 	case QueryHandoff:
@@ -779,11 +876,17 @@ func EncodedSize(m Message) int {
 	case NodeClientGone:
 		return 1 + 4
 	case PeerHello:
-		return 1 + 2 + 2 + 8
+		return 1 + 2 + 2 + 8 + 8
 	case PeerHeartbeat:
 		return 1 + 2 + 8
 	case NodeRedirect:
 		return 1 + 2 + 2 + len(v.Addr)
+	case NodeLoad:
+		return 1 + 2 + 8 + 4 + 4 + 8 + 8
+	case PartitionUpdate:
+		return 1 + 8 + 2 + len(v.Owners)*2
+	case PartitionAck:
+		return 1 + 2 + 8
 	default:
 		panic(fmt.Sprintf("protocol: EncodedSize of unknown type %T", m))
 	}
@@ -916,20 +1019,22 @@ func Decode(buf []byte) (Message, error) {
 		}
 	case KindNodeForward:
 		nf := NodeForward{
-			Home:   r.u16(),
-			Region: geo.Circle{Center: r.point(), R: r.f64()},
+			Home:    r.u16(),
+			Version: r.u64(),
+			Region:  geo.Circle{Center: r.point(), R: r.f64()},
 		}
 		nf.Inner = r.nested(validForwardInner)
 		m = nf
 	case KindNodeRelay:
 		nr := NodeRelay{
-			Origin: model.ObjectID(r.u32()),
-			Hops:   r.u8(),
+			Origin:  model.ObjectID(r.u32()),
+			Hops:    r.u8(),
+			Version: r.u64(),
 		}
 		nr.Inner = r.nested(validRelayInner)
 		m = nr
 	case KindNodeDeliver:
-		nd := NodeDeliver{To: model.ObjectID(r.u32())}
+		nd := NodeDeliver{To: model.ObjectID(r.u32()), Version: r.u64()}
 		nd.Inner = r.nested(validDeliverInner)
 		m = nd
 	case KindObjectHandoff:
@@ -1002,11 +1107,32 @@ func Decode(buf []byte) (Message, error) {
 	case KindNodeClientGone:
 		m = NodeClientGone{Object: model.ObjectID(r.u32())}
 	case KindPeerHello:
-		m = PeerHello{Node: r.u16(), Nodes: r.u16(), At: r.tick()}
+		m = PeerHello{Node: r.u16(), Nodes: r.u16(), Version: r.u64(), At: r.tick()}
 	case KindPeerHeartbeat:
 		m = PeerHeartbeat{Node: r.u16(), At: r.tick()}
 	case KindNodeRedirect:
 		m = NodeRedirect{Node: r.u16(), Addr: r.str()}
+	case KindNodeLoad:
+		m = NodeLoad{
+			Node:       r.u16(),
+			Version:    r.u64(),
+			Population: r.u32(),
+			Queries:    r.u32(),
+			BusyUS:     r.u64(),
+			At:         r.tick(),
+		}
+	case KindPartitionUpdate:
+		pu := PartitionUpdate{Version: r.u64()}
+		n := int(r.u16())
+		if !r.failed && n > 0 {
+			pu.Owners = make([]uint16, 0, n)
+			for i := 0; i < n; i++ {
+				pu.Owners = append(pu.Owners, r.u16())
+			}
+		}
+		m = pu
+	case KindPartitionAck:
+		m = PartitionAck{Node: r.u16(), Version: r.u64()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
@@ -1050,6 +1176,14 @@ func (r *reader) u32() uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
 }
 
 func (r *reader) f64() float64 {
@@ -1158,6 +1292,10 @@ func appendU16(dst []byte, v uint16) []byte {
 
 func appendU32(dst []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
 }
 
 func appendBool(dst []byte, v bool) []byte {

@@ -42,7 +42,7 @@ func sampleMessages() []Message {
 			Removed: []model.ObjectID{3, 4}},
 		AnswerDelta{Query: 10, Seq: 2, At: 34}, // empty delta
 		AnswerResync{Query: 9, LastSeq: 13, At: 35},
-		NodeForward{Home: 2, Region: geo.Circle{Center: geo.Pt(300, 400), R: 120.5},
+		NodeForward{Home: 2, Version: 5, Region: geo.Circle{Center: geo.Pt(300, 400), R: 120.5},
 			Inner: ProbeRequest{Query: 3, Seq: 9, Region: geo.Circle{Center: geo.Pt(300, 400), R: 120.5}, At: 36}},
 		NodeForward{Home: 0, Region: geo.Circle{Center: geo.Pt(1, 2), R: 3},
 			Inner: MonitorInstall{Query: 5, Epoch: 4, QueryPos: geo.Pt(1, 2), QueryVel: geo.Vec(0.5, -0.5),
@@ -51,9 +51,9 @@ func sampleMessages() []Message {
 			Inner: MonitorCancel{Query: 5, Epoch: 4}},
 		NodeRelay{Origin: 42, Hops: 1,
 			Inner: EnterReport{MemberReport{Query: 5, Epoch: 4, Object: 42, Pos: geo.Pt(5, 6), At: 38}}},
-		NodeRelay{Origin: 43, Hops: 3,
+		NodeRelay{Origin: 43, Hops: 3, Version: 2,
 			Inner: QueryMove{Query: 8, Pos: geo.Pt(511, 506), Vel: geo.Vec(2, 1), At: 39}},
-		NodeDeliver{To: 44,
+		NodeDeliver{To: 44, Version: 3,
 			Inner: AnswerUpdate{Query: 8, Seq: 14, At: 40, QPos: geo.Pt(513, 505),
 				Neighbors: []model.Neighbor{{ID: 4, Dist: 11.25}}}},
 		ObjectHandoff{Object: 45, Pos: geo.Pt(640, 320), Vel: geo.Vec(-1.5, 2.5), At: 41,
@@ -70,10 +70,14 @@ func sampleMessages() []Message {
 			Epoch: 1, AnswerRadius: 90.5, Radius: 140}, // probing-era handoff: empty state
 		QueryHandoffAck{Query: 8},
 		NodeClientGone{Object: 45},
-		PeerHello{Node: 2, Nodes: 4, At: 46},
+		PeerHello{Node: 2, Nodes: 4, Version: 6, At: 46},
 		PeerHeartbeat{Node: 3, At: 47},
 		NodeRedirect{Node: 1, Addr: "127.0.0.1:7708"},
 		NodeRedirect{Node: 0, Addr: ""}, // address-less redirect (peer known to client)
+		NodeLoad{Node: 1, Version: 6, Population: 250, Queries: 12, BusyUS: 123456789, At: 48},
+		PartitionUpdate{Version: 7, Owners: []uint16{0, 0, 0, 1, 2, 2, 3, 3}},
+		PartitionUpdate{Version: 1}, // ownerless update (rejected by appliers, wire-legal)
+		PartitionAck{Node: 2, Version: 7},
 	}
 }
 

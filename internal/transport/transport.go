@@ -71,6 +71,15 @@ type DisconnectHandler interface {
 	HandleClientGone(id model.ObjectID)
 }
 
+// AttachHandler is optionally implemented by a ServerHandler on
+// connection-oriented media: the transport reports that a client has
+// completed its handshake, so the server can greet it — e.g. push the
+// current partition map to a client whose routing belief may be stale
+// from before it (re)connected. Wireless-style media never call it.
+type AttachHandler interface {
+	HandleClientAttached(id model.ObjectID)
+}
+
 // ClientHandler consumes downlinks and broadcasts at one client.
 type ClientHandler interface {
 	HandleServerMessage(m protocol.Message)
