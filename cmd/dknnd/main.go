@@ -7,7 +7,7 @@
 //
 //	dknnd [-addr :7707] [-world 10000] [-grid 64] [-tick 1s]
 //	      [-vobj 30] [-vqry 30] [-horizon 20] [-slack 10] [-theta 0]
-//	      [-shards 4] [-batched] [-http :8080] [-trace]
+//	      [-influence] [-shards 4] [-batched] [-http :8080] [-trace]
 //
 // Federation: start one dknnd per node, each with its node id, the full
 // list of peer (inter-node) addresses, and the full list of client
@@ -76,6 +76,7 @@ func main() {
 	horizon := flag.Int("horizon", 20, "monitor refresh horizon, ticks")
 	slack := flag.Int("slack", 10, "answer buffer size m")
 	theta := flag.Float64("theta", 0, "in-boundary movement threshold, meters")
+	influence := flag.Bool("influence", false, "influence-driven safe regions: advertise per-query frontier thresholds so objects suppress non-answer-changing reports")
 	shards := flag.Int("shards", 1, "parallel query shards (>1 enables interior sharding; standalone mode)")
 	batched := flag.Bool("batched", false, "batched ingest: queue uplinks per shard, drain at each tick (standalone mode)")
 	quiet := flag.Bool("quiet", false, "suppress the periodic status line")
@@ -96,6 +97,7 @@ func main() {
 		HorizonTicks: *horizon,
 		AnswerSlack:  *slack,
 		ThetaInside:  *theta,
+		Influence:    *influence,
 	}
 	var rec *obs.Recorder
 	var sink obs.Sink

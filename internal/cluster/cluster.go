@@ -971,6 +971,10 @@ func (n *node) handleForward(from int, v protocol.NodeForward) {
 		if !n.local[inner.Query] {
 			n.remote[inner.Query] = from
 		}
+	case protocol.InfluenceInstall:
+		if !n.local[inner.Install.Query] {
+			n.remote[inner.Install.Query] = from
+		}
 	case protocol.MonitorCancel:
 		n.purgeQuery(inner.Query)
 	default:
@@ -1191,6 +1195,8 @@ func broadcastQuery(m protocol.Message) (q model.QueryID, cancel, ok bool) {
 		return v.Query, false, true
 	case protocol.MonitorInstall:
 		return v.Query, false, true
+	case protocol.InfluenceInstall:
+		return v.Install.Query, false, true
 	case protocol.MonitorCancel:
 		return v.Query, true, true
 	}

@@ -873,6 +873,10 @@ func (m *Member) handleForward(from int, v protocol.NodeForward) {
 		if !m.local[inner.Query] {
 			m.remote[inner.Query] = from
 		}
+	case protocol.InfluenceInstall:
+		if !m.local[inner.Install.Query] {
+			m.remote[inner.Install.Query] = from
+		}
 	case protocol.MonitorCancel:
 		m.purgeQuery(inner.Query)
 	default:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -82,7 +83,14 @@ type agentMonitor struct {
 	radius       float64
 	rangeMode    bool
 	inside       bool
-	lastReport   geo.Point
+	// Influence frontier advertised with the install (zero: none — use
+	// the θ drift rule). The object's movement threshold is derived per
+	// tick as its slack to the frontier, |d(lastReport) − frontier|, so
+	// it needs no storage and re-anchors automatically on every report.
+	frontier float64
+	band     float64
+
+	lastReport geo.Point
 	// lastSentAt is when this monitor last transmitted anything; inside
 	// objects re-affirm membership once per horizon if silent, which
 	// heals a membership report lost (or outrun by epochs) in flight.
@@ -115,7 +123,9 @@ func (a *ObjectAgent) HandleServerMessage(msg protocol.Message) {
 			}
 		}
 	case protocol.MonitorInstall:
-		a.handleInstall(v)
+		a.handleInstall(v, 0, 0)
+	case protocol.InfluenceInstall:
+		a.handleInstall(v.Install, v.Frontier, v.Band)
 	case protocol.MonitorCancel:
 		if mon, ok := a.monitors[v.Query]; ok && v.Epoch >= mon.epoch {
 			a.drop(v.Query)
@@ -123,7 +133,7 @@ func (a *ObjectAgent) HandleServerMessage(msg protocol.Message) {
 	}
 }
 
-func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall) {
+func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall, frontier, band float64) {
 	prev, had := a.monitors[v.Query]
 	if had && v.Epoch < prev.epoch {
 		return // stale rebroadcast
@@ -180,6 +190,28 @@ func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall) {
 					Query: v.Query, Object: a.deps.ID, Kind: protocol.KindExitReport, Value: d})
 			}
 		}
+		// Influence correction: a refresh advertising a frontier re-tests
+		// the server's (possibly drift-stale) copy of our position against
+		// it. If our true side of F disagrees with what the server's copy
+		// implies, or our accumulated drift exceeds the slack to F, the
+		// server's ranking around the new frontier cannot be trusted —
+		// correct it with a fresh MoveReport. Freshly-reported objects
+		// (drift 0, consistent side) stay silent, so each correction wave
+		// strictly shrinks the stale set and the tick converges.
+		if frontier > 0 && !v.RangeMode && side && had && prev.inside && !reported {
+			dSrv := prev.lastReport.Dist(v.QueryPos)
+			drift := p.Dist(prev.lastReport)
+			if (d <= frontier) != (dSrv <= frontier) || drift > math.Abs(dSrv-frontier) {
+				a.deps.Side.Uplink(protocol.MoveReport{MemberReport: protocol.MemberReport{
+					Query: v.Query, Epoch: v.Epoch, Object: a.deps.ID, Pos: p, At: now,
+				}})
+				reported = true
+				if a.deps.Trace != nil {
+					emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvReportSent,
+						Query: v.Query, Object: a.deps.ID, Kind: protocol.KindMoveReport, Value: drift})
+				}
+			}
+		}
 	}
 	// lastReport must track what the *server* knows about us. After a
 	// full probe the server rebuilt its state from our reply at the
@@ -207,6 +239,8 @@ func (a *ObjectAgent) handleInstall(v protocol.MonitorInstall) {
 		radius:       v.Radius,
 		rangeMode:    v.RangeMode,
 		inside:       side,
+		frontier:     frontier,
+		band:         band,
 		lastReport:   last,
 		lastSentAt:   sentAt,
 	}
@@ -284,7 +318,20 @@ func (a *ObjectAgent) Tick(now model.Tick) {
 			}
 		case side && !mon.rangeMode:
 			drift := p.Dist(mon.lastReport)
-			if drift > theta {
+			move := false
+			if mon.frontier > 0 {
+				// Influence rule: the server only needs to know our side of
+				// the frontier F. While the drift stays under our slack to F
+				// (|d(lastReport, q̂) − F|) the triangle inequality proves we
+				// cannot have crossed it, so the report is suppressed; the
+				// side test catches the boundary exactly.
+				dSrv := mon.lastReport.Dist(qhat)
+				move = (d <= mon.frontier) != (dSrv <= mon.frontier) ||
+					drift > math.Abs(dSrv-mon.frontier)
+			} else {
+				move = drift > theta
+			}
+			if move {
 				a.deps.Side.Uplink(protocol.MoveReport{MemberReport: protocol.MemberReport{
 					Query: q, Epoch: mon.epoch, Object: a.deps.ID, Pos: p, At: now,
 				}})
@@ -295,8 +342,9 @@ func (a *ObjectAgent) Tick(now model.Tick) {
 						Query: q, Object: a.deps.ID, Kind: protocol.KindMoveReport, Value: drift})
 				}
 			} else if a.deps.Trace != nil {
-				// The in-circle threshold just saved an uplink: the drift
-				// stayed under theta, so the server's copy is close enough.
+				// The threshold just saved an uplink: the server's copy is
+				// still close enough (θ rule) or provably on the same side
+				// of the frontier (influence rule).
 				emitAgent(a.deps.Trace, obs.Event{At: now, Type: obs.EvReportSuppressed,
 					Query: q, Object: a.deps.ID, Kind: protocol.KindMoveReport, Value: drift})
 			}

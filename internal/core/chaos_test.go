@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"testing"
 
+	"dmknn/internal/geo"
 	"dmknn/internal/metrics"
 	"dmknn/internal/model"
 	"dmknn/internal/obs"
@@ -81,11 +83,12 @@ func assertClientAnswersExact(t *testing.T, env *sim.Env, m *Method, tag string)
 	}
 }
 
-// runChaos drives one (faults, seed) cell: establish cleanly, soak under
-// the fault matrix (plus churn when enabled), clear the faults, and
-// require exact client-visible answers within the heal window — and
-// stably so afterwards.
-func runChaos(t *testing.T, c chaosCase, seed int64) {
+// runChaos drives one (faults, seed) cell under the given protocol
+// configuration: establish cleanly, soak under the fault matrix (plus
+// churn when enabled), clear the faults, and require exact
+// client-visible answers within the heal window — and stably so
+// afterwards.
+func runChaos(t *testing.T, c chaosCase, seed int64, pc Config) {
 	t.Helper()
 	cfg := workload.Quick()
 	cfg.Seed = seed
@@ -100,7 +103,6 @@ func runChaos(t *testing.T, c chaosCase, seed int64) {
 	cfg.Trace = rec
 	obs.DumpOnFailure(t, rec)
 
-	pc := chaosProto()
 	m := mustDKNN(t, pc)
 	eng, err := sim.NewEngine(cfg, m)
 	if err != nil {
@@ -184,10 +186,164 @@ func TestChaosSoakMatrix(t *testing.T) {
 		for _, seed := range seeds {
 			c, seed := c, seed
 			t.Run(fmt.Sprintf("%s/seed%d", c.name, seed), func(t *testing.T) {
-				runChaos(t, c, seed)
+				runChaos(t, c, seed, chaosProto())
 			})
 		}
 	}
+}
+
+// influenceChaosMatrix is the fault sweep for influence mode: plain
+// independent loss, Gilbert–Elliott burst loss, jitter, and duplication
+// — the four channels that can tear the frontier advertisements and the
+// suppressed reports apart.
+func influenceChaosMatrix() []chaosCase {
+	burst := simnet.BurstLoss(0.30, 4)
+	plain := simnet.BurstLoss(0.15, 1)
+	return []chaosCase{
+		{name: "plain-loss", faults: simnet.FaultConfig{
+			UplinkGE: plain, DownlinkGE: plain, BroadcastGE: plain}},
+		{name: "burst-loss", faults: simnet.FaultConfig{
+			UplinkGE: burst, DownlinkGE: burst, BroadcastGE: burst}},
+		{name: "jitter", faults: simnet.FaultConfig{JitterTicks: 3}},
+		{name: "duplication", faults: simnet.FaultConfig{DuplicateProb: 0.25}},
+		{name: "everything", faults: simnet.FaultConfig{
+			UplinkGE: burst, DownlinkGE: burst, BroadcastGE: burst,
+			JitterTicks: 3, DuplicateProb: 0.25}},
+	}
+}
+
+// The influence-mode chaos soak: with frontier-threshold suppression
+// active, every fault cell at 8 seeds must still re-converge to exact
+// client-visible kNN answers once the faults clear. Lost frontier
+// advertisements degrade an object to the θ rule (frontier zero until
+// the next install it hears), lost suppressed-side reports are healed
+// by the resync probes and the horizon re-affirmation — the sweep
+// proves neither path strands a stale member in an answer.
+func TestInfluenceChaosSoakMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	pc := chaosProto()
+	pc.Influence = true
+	for _, c := range influenceChaosMatrix() {
+		for _, seed := range seeds {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("%s/seed%d", c.name, seed), func(t *testing.T) {
+				runChaos(t, c, seed, pc)
+			})
+		}
+	}
+}
+
+// The advertised-bound staleness property: on a clean channel in
+// influence mode, a suppressed object's true position never drifts from
+// the server's stored copy by more than the slack its frontier
+// threshold advertises — drift ≤ |d(lastReport, q̂) − F| — and the
+// server's stored position for every inside member is exactly the
+// agent's last report. Checked white-box against every agent monitor on
+// every tick, alongside client-visible exactness, so the suppression
+// rule (including the refresh-time correction wave that re-checks the
+// bound against a new frontier) can never trade answer correctness for
+// saved uplinks without failing here.
+func TestInfluenceSuppressionStalenessBound(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := workload.Quick()
+			cfg.Seed = seed
+			cfg.NumObjects = 300
+			cfg.NumQueries = 4
+			cfg.LatencyTicks = 0
+			cfg.DisableAudit = true
+			rec := obs.NewRecorder(0)
+			cfg.Trace = rec
+			obs.DumpOnFailure(t, rec)
+
+			pc := quickProto()
+			pc.Influence = true
+			m := mustDKNN(t, pc)
+			eng, err := sim.NewEngine(cfg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := eng.Env()
+			for i := 0; i < 10; i++ {
+				if err := eng.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 40; i++ {
+				if err := eng.Step(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				assertClientAnswersExact(t, env, m, fmt.Sprintf("tick+%d", i))
+				now := env.Net.Now()
+				for _, a := range m.agents {
+					truePos := env.ObjectByID(a.deps.ID).Pos
+					for q, am := range a.monitors {
+						if !am.inside || am.rangeMode || am.frontier <= 0 {
+							continue
+						}
+						qhat := geo.DeadReckon(am.qpos, am.qvel, float64(now-am.at)*env.DT)
+						drift := truePos.Dist(am.lastReport)
+						bound := math.Abs(am.lastReport.Dist(qhat) - am.frontier)
+						if drift > bound+1e-6 {
+							t.Fatalf("tick %d: object %d query %d: drift %.6f exceeds advertised bound %.6f (F=%.3f)",
+								now, a.deps.ID, q, drift, bound, am.frontier)
+						}
+						smon := m.server.monitors[q]
+						if smon == nil || !smon.inside[a.deps.ID] {
+							continue
+						}
+						stored, ok := smon.cands.Position(a.deps.ID)
+						if !ok || stored != am.lastReport {
+							t.Fatalf("tick %d: object %d query %d: server stored %v, agent last reported %v",
+								now, a.deps.ID, q, stored, am.lastReport)
+						}
+					}
+				}
+			}
+			if rec.Count(obs.EvReportSuppressed) == 0 {
+				t.Error("no report was ever suppressed — the influence mechanism never engaged")
+			}
+		})
+	}
+}
+
+// Influence mode must actually save uplink traffic on a clean channel
+// while staying exact: same workload, same seed, strictly fewer uplink
+// sends than the fixed-horizon baseline.
+func TestInfluenceUplinkReduction(t *testing.T) {
+	run := func(pc Config) uint64 {
+		cfg := workload.Quick()
+		cfg.Seed = 5
+		cfg.NumObjects = 300
+		cfg.NumQueries = 4
+		cfg.LatencyTicks = 0
+		cfg.DisableAudit = true
+		m := mustDKNN(t, pc)
+		eng, err := sim.NewEngine(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertClientAnswersExact(t, eng.Env(), m, "final")
+		return eng.Env().Net.Counters().Sent(metrics.Uplink)
+	}
+	base := run(quickProto())
+	inf := quickProto()
+	inf.Influence = true
+	saved := run(inf)
+	if saved >= base {
+		t.Fatalf("influence mode sent %d uplinks, baseline %d — no reduction", saved, base)
+	}
+	t.Logf("uplink sends: baseline %d, influence %d (%.1f%% saved)",
+		base, saved, 100*float64(base-saved)/float64(base))
 }
 
 // failingTB pretends its test already failed, so DumpOnFailure's cleanup

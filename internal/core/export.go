@@ -48,6 +48,13 @@ type MonitorState struct {
 	AnswerSeq   uint32
 	LastProbeAt model.Tick
 
+	// Influence frontier advertised with the current epoch (zero when
+	// none). Migrating it keeps suppressed objects suppressed: the new
+	// home validates and refreshes against the same F the aware objects
+	// hold, instead of force-refreshing every monitor it imports.
+	Frontier float64
+	Band     float64
+
 	Candidates []CandidateState
 	Inside     []model.ObjectID
 	Sent       []model.ObjectID
@@ -89,6 +96,8 @@ func (s *Server) exportLocked(q model.QueryID, mon *monitor) MonitorState {
 		PrevRegion:   mon.prevRegion,
 		AnswerSeq:    mon.answerSeq,
 		LastProbeAt:  mon.lastProbeAt,
+		Frontier:     mon.frontier,
+		Band:         mon.band,
 	}
 	if n := mon.cands.Len(); n > 0 {
 		st.Candidates = make([]CandidateState, 0, n)
@@ -160,6 +169,12 @@ func (s *Server) ImportMonitor(st MonitorState, now model.Tick) {
 		!finitePoint(st.QPos) || !finiteVec(st.QVel) {
 		return
 	}
+	// The codec already rejects non-finite thresholds; zero a locally
+	// constructed bad value too, so an unusable frontier degrades to the
+	// θ rule instead of poisoning suppression decisions.
+	if !finite(st.Frontier) || st.Frontier < 0 || !finite(st.Band) || st.Band < 0 {
+		st.Frontier, st.Band = 0, 0
+	}
 	mon := &monitor{
 		query:        st.Query,
 		k:            st.K,
@@ -176,6 +191,8 @@ func (s *Server) ImportMonitor(st MonitorState, now model.Tick) {
 		prevRegion:   st.PrevRegion,
 		answerSeq:    st.AnswerSeq,
 		lastProbeAt:  st.LastProbeAt,
+		frontier:     st.Frontier,
+		band:         st.Band,
 		cands:        knn.NewCandidateSet(),
 		inside:       make(map[model.ObjectID]bool, len(st.Inside)),
 		sent:         make(map[model.ObjectID]bool, len(st.Sent)),
@@ -268,6 +285,8 @@ func (st MonitorState) ExportState() protocol.QueryHandoff {
 		PrevRegion:   st.PrevRegion,
 		AnswerSeq:    st.AnswerSeq,
 		LastProbeAt:  st.LastProbeAt,
+		Frontier:     st.Frontier,
+		Band:         st.Band,
 		Inside:       st.Inside,
 		Sent:         st.Sent,
 	}
@@ -298,6 +317,8 @@ func ImportState(qh protocol.QueryHandoff) MonitorState {
 		PrevRegion:   qh.PrevRegion,
 		AnswerSeq:    qh.AnswerSeq,
 		LastProbeAt:  qh.LastProbeAt,
+		Frontier:     qh.Frontier,
+		Band:         qh.Band,
 		Inside:       qh.Inside,
 		Sent:         qh.Sent,
 	}

@@ -183,11 +183,15 @@ func installQuery(t *testing.T, srv *Server, side *recSide, now model.Tick) prot
 	for i := 0; i < 6 && srv.Finalize(now); i++ {
 		reply()
 	}
-	inst, ok := side.lastBroadcast().(protocol.MonitorInstall)
-	if !ok {
+	switch v := side.lastBroadcast().(type) {
+	case protocol.MonitorInstall:
+		return v
+	case protocol.InfluenceInstall: // influence-mode servers install with this kind
+		return v.Install
+	default:
 		t.Fatalf("no install; last broadcast %T", side.lastBroadcast())
+		return protocol.MonitorInstall{}
 	}
-	return inst
 }
 
 func TestEnterExitMaintainAnswer(t *testing.T) {

@@ -142,38 +142,49 @@ const (
 	// decision. Peer wire.
 	KindPartitionAck
 
+	// KindInfluenceInstall is a MonitorInstall extended with the
+	// influence-set frontier: a distance threshold F separating the
+	// current k answers from the rest of the monitoring region, plus the
+	// half-gap Band around it. Objects derive a private movement
+	// threshold from F and suppress MoveReports while their motion
+	// cannot change their side of the frontier. Sent instead of
+	// KindMonitorInstall when the server runs in influence mode, so
+	// influence-off deployments never see the kind. Broadcast.
+	KindInfluenceInstall
+
 	kindEnd // sentinel: all valid kinds are below this
 )
 
 var kindNames = map[Kind]string{
-	KindLocationReport:  "location-report",
-	KindProbeRequest:    "probe-request",
-	KindProbeReply:      "probe-reply",
-	KindMonitorInstall:  "monitor-install",
-	KindMonitorCancel:   "monitor-cancel",
-	KindEnterReport:     "enter-report",
-	KindExitReport:      "exit-report",
-	KindLeaveReport:     "leave-report",
-	KindMoveReport:      "move-report",
-	KindQueryRegister:   "query-register",
-	KindQueryMove:       "query-move",
-	KindQueryDeregister: "query-deregister",
-	KindAnswerUpdate:    "answer-update",
-	KindAnswerDelta:     "answer-delta",
-	KindAnswerResync:    "answer-resync",
-	KindNodeForward:     "node-forward",
-	KindNodeRelay:       "node-relay",
-	KindNodeDeliver:     "node-deliver",
-	KindObjectHandoff:   "object-handoff",
-	KindQueryHandoff:    "query-handoff",
-	KindQueryHandoffAck: "query-handoff-ack",
-	KindNodeClientGone:  "node-client-gone",
-	KindPeerHello:       "peer-hello",
-	KindPeerHeartbeat:   "peer-heartbeat",
-	KindNodeRedirect:    "node-redirect",
-	KindNodeLoad:        "node-load",
-	KindPartitionUpdate: "partition-update",
-	KindPartitionAck:    "partition-ack",
+	KindLocationReport:   "location-report",
+	KindProbeRequest:     "probe-request",
+	KindProbeReply:       "probe-reply",
+	KindMonitorInstall:   "monitor-install",
+	KindMonitorCancel:    "monitor-cancel",
+	KindEnterReport:      "enter-report",
+	KindExitReport:       "exit-report",
+	KindLeaveReport:      "leave-report",
+	KindMoveReport:       "move-report",
+	KindQueryRegister:    "query-register",
+	KindQueryMove:        "query-move",
+	KindQueryDeregister:  "query-deregister",
+	KindAnswerUpdate:     "answer-update",
+	KindAnswerDelta:      "answer-delta",
+	KindAnswerResync:     "answer-resync",
+	KindNodeForward:      "node-forward",
+	KindNodeRelay:        "node-relay",
+	KindNodeDeliver:      "node-deliver",
+	KindObjectHandoff:    "object-handoff",
+	KindQueryHandoff:     "query-handoff",
+	KindQueryHandoffAck:  "query-handoff-ack",
+	KindNodeClientGone:   "node-client-gone",
+	KindPeerHello:        "peer-hello",
+	KindPeerHeartbeat:    "peer-heartbeat",
+	KindNodeRedirect:     "node-redirect",
+	KindNodeLoad:         "node-load",
+	KindPartitionUpdate:  "partition-update",
+	KindPartitionAck:     "partition-ack",
+	KindInfluenceInstall: "influence-install",
 }
 
 // String implements fmt.Stringer.
@@ -264,6 +275,34 @@ func (MonitorInstall) Kind() Kind { return KindMonitorInstall }
 func (m MonitorInstall) Region() geo.Circle {
 	return geo.Circle{Center: m.QueryPos, R: m.Radius}
 }
+
+// InfluenceInstall is a MonitorInstall carrying the influence frontier.
+//
+// Frontier is the distance F from the query point that separates the k
+// current answer objects (all strictly inside F) from every other
+// candidate (all at or beyond F); Band is the half-width of the gap
+// around F, kept for diagnostics and future per-annulus refinements. An
+// object derives its private movement threshold as the distance from
+// its last reported position's query distance to F: while its
+// accumulated drift stays below that slack it provably cannot have
+// crossed the frontier, so its MoveReports are pure noise and are
+// suppressed. Frontier zero means "no valid frontier this epoch" and
+// objects fall back to the fixed θ drift rule.
+//
+// Both fields must be finite and non-negative on the wire; Decode
+// rejects NaN/Inf the way the server rejects non-finite register
+// kinematics, so a corrupt threshold can never disable reporting.
+type InfluenceInstall struct {
+	Install  MonitorInstall
+	Frontier float64
+	Band     float64
+}
+
+// Kind implements Message.
+func (InfluenceInstall) Kind() Kind { return KindInfluenceInstall }
+
+// Region returns the monitoring region the install covers.
+func (m InfluenceInstall) Region() geo.Circle { return m.Install.Region() }
 
 // MonitorCancel tells objects to stop monitoring a query.
 type MonitorCancel struct {
@@ -499,6 +538,8 @@ type QueryHandoff struct {
 	PrevRegion   geo.Circle
 	AnswerSeq    uint32
 	LastProbeAt  model.Tick
+	Frontier     float64
+	Band         float64
 	Candidates   []CandidateRecord
 	Inside       []model.ObjectID
 	Sent         []model.ObjectID
@@ -617,7 +658,8 @@ func (PartitionAck) Kind() Kind { return KindPartitionAck }
 // validForwardInner reports whether k may ride inside a NodeForward.
 func validForwardInner(k Kind) bool {
 	switch k {
-	case KindProbeRequest, KindMonitorInstall, KindMonitorCancel:
+	case KindProbeRequest, KindMonitorInstall, KindMonitorCancel,
+		KindInfluenceInstall:
 		return true
 	}
 	return false
@@ -648,6 +690,13 @@ var ErrTruncated = errors.New("protocol: truncated message")
 
 // ErrUnknownKind is returned by Decode for an unrecognized kind byte.
 var ErrUnknownKind = errors.New("protocol: unknown message kind")
+
+// ErrBadThreshold is returned by Decode when an influence frontier or
+// band field is NaN, infinite, or negative. A non-finite threshold would
+// silently disable (or permanently force) reporting on every object that
+// applied it, so the codec rejects it outright — the same defense the
+// server applies to non-finite register kinematics.
+var ErrBadThreshold = errors.New("protocol: non-finite or negative threshold")
 
 // Encode serializes m, appending to dst (which may be nil) and returning
 // the extended buffer.
@@ -681,6 +730,18 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendF64(dst, v.AnswerRadius)
 		dst = appendF64(dst, v.Radius)
 		dst = appendTick(dst, v.At)
+	case InfluenceInstall:
+		dst = appendU32(dst, uint32(v.Install.Query))
+		dst = appendU32(dst, v.Install.Epoch)
+		dst = appendBool(dst, v.Install.Refresh)
+		dst = appendBool(dst, v.Install.RangeMode)
+		dst = appendPoint(dst, v.Install.QueryPos)
+		dst = appendVec(dst, v.Install.QueryVel)
+		dst = appendF64(dst, v.Install.AnswerRadius)
+		dst = appendF64(dst, v.Install.Radius)
+		dst = appendTick(dst, v.Install.At)
+		dst = appendF64(dst, v.Frontier)
+		dst = appendF64(dst, v.Band)
 	case MonitorCancel:
 		dst = appendU32(dst, uint32(v.Query))
 		dst = appendU32(dst, v.Epoch)
@@ -775,6 +836,8 @@ func Encode(dst []byte, m Message) []byte {
 		dst = appendF64(dst, v.PrevRegion.R)
 		dst = appendU32(dst, v.AnswerSeq)
 		dst = appendTick(dst, v.LastProbeAt)
+		dst = appendF64(dst, v.Frontier)
+		dst = appendF64(dst, v.Band)
 		dst = appendU32(dst, uint32(len(v.Candidates)))
 		for _, c := range v.Candidates {
 			dst = appendU32(dst, uint32(c.ID))
@@ -843,6 +906,8 @@ func EncodedSize(m Message) int {
 		return 1 + 4 + 4 + 4 + 16 + 8
 	case MonitorInstall:
 		return 1 + 4 + 4 + 1 + 1 + 16 + 16 + 8 + 8 + 8
+	case InfluenceInstall:
+		return 1 + 4 + 4 + 1 + 1 + 16 + 16 + 8 + 8 + 8 + 8 + 8
 	case MonitorCancel:
 		return 1 + 4 + 4
 	case EnterReport, ExitReport, LeaveReport, MoveReport:
@@ -868,7 +933,7 @@ func EncodedSize(m Message) int {
 	case ObjectHandoff:
 		return 1 + 4 + 16 + 16 + 8 + 2 + len(v.Aware)*6
 	case QueryHandoff:
-		return 1 + 4 + 4 + 8 + 4 + 16 + 16 + 8 + 4 + 1 + 8 + 8 + 8 + 24 + 4 + 8 +
+		return 1 + 4 + 4 + 8 + 4 + 16 + 16 + 8 + 4 + 1 + 8 + 8 + 8 + 24 + 4 + 8 + 8 + 8 +
 			4 + len(v.Candidates)*20 + 4 + len(v.Inside)*4 + 4 + len(v.Sent)*4 +
 			2 + len(v.Spread)*2
 	case QueryHandoffAck:
@@ -938,6 +1003,26 @@ func Decode(buf []byte) (Message, error) {
 			Radius:       r.f64(),
 			At:           r.tick(),
 		}
+	case KindInfluenceInstall:
+		ii := InfluenceInstall{
+			Install: MonitorInstall{
+				Query:        model.QueryID(r.u32()),
+				Epoch:        r.u32(),
+				Refresh:      r.bool(),
+				RangeMode:    r.bool(),
+				QueryPos:     r.point(),
+				QueryVel:     r.vec(),
+				AnswerRadius: r.f64(),
+				Radius:       r.f64(),
+				At:           r.tick(),
+			},
+			Frontier: r.f64(),
+			Band:     r.f64(),
+		}
+		if !r.failed && (!validThreshold(ii.Frontier) || !validThreshold(ii.Band)) {
+			return nil, ErrBadThreshold
+		}
+		m = ii
 	case KindMonitorCancel:
 		m = MonitorCancel{
 			Query: model.QueryID(r.u32()),
@@ -1072,6 +1157,11 @@ func Decode(buf []byte) (Message, error) {
 			PrevRegion:   geo.Circle{Center: r.point(), R: r.f64()},
 			AnswerSeq:    r.u32(),
 			LastProbeAt:  r.tick(),
+			Frontier:     r.f64(),
+			Band:         r.f64(),
+		}
+		if !r.failed && (!validThreshold(qh.Frontier) || !validThreshold(qh.Band)) {
+			return nil, ErrBadThreshold
 		}
 		if nc := r.count32(20); nc > 0 {
 			qh.Candidates = make([]CandidateRecord, 0, nc)
@@ -1137,6 +1227,9 @@ func Decode(buf []byte) (Message, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
 	if r.failed {
+		if r.err != nil {
+			return nil, r.err
+		}
 		return nil, ErrTruncated
 	}
 	if len(r.buf) != 0 {
@@ -1146,10 +1239,13 @@ func Decode(buf []byte) (Message, error) {
 }
 
 // reader consumes little-endian fields, latching failure on underflow so
-// call sites stay linear.
+// call sites stay linear. err carries a more specific decode error than
+// the default ErrTruncated when one is known (a nested message's own
+// decode failure).
 type reader struct {
 	buf    []byte
 	failed bool
+	err    error
 }
 
 func (r *reader) take(n int) []byte {
@@ -1234,6 +1330,12 @@ func (r *reader) u8() uint8 {
 	return b[0]
 }
 
+// validThreshold reports whether v is usable as an influence frontier or
+// band: finite and non-negative.
+func validThreshold(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
 // count32 reads a u32 element count and rejects values that could not
 // possibly fit in the remaining buffer (given recordSize bytes per
 // element), so a corrupt count cannot drive a huge allocation.
@@ -1267,6 +1369,7 @@ func (r *reader) nested(valid func(Kind) bool) Message {
 	in, err := Decode(b)
 	if err != nil {
 		r.failed = true
+		r.err = err
 		return nil
 	}
 	return in

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -21,6 +22,11 @@ func sampleMessages() []Message {
 			AnswerRadius: 75.25, Radius: 150.5, At: 17},
 		MonitorInstall{Query: 6, Epoch: 3, Refresh: true, QueryPos: geo.Pt(1, 2), QueryVel: geo.Vec(0, 0),
 			AnswerRadius: 10, Radius: 20, At: 18},
+		InfluenceInstall{Install: MonitorInstall{Query: 7, Epoch: 4, QueryPos: geo.Pt(50, 60),
+			QueryVel: geo.Vec(1, -1), AnswerRadius: 80, Radius: 120, At: 19},
+			Frontier: 64.25, Band: 5.5},
+		InfluenceInstall{Install: MonitorInstall{Query: 7, Epoch: 5, Refresh: true,
+			QueryPos: geo.Pt(51, 59), AnswerRadius: 82, Radius: 121, At: 20}}, // no valid frontier
 		MonitorCancel{Query: 5, Epoch: 2},
 		EnterReport{MemberReport{Query: 5, Epoch: 2, Object: 99, Pos: geo.Pt(7, 8), At: 18}},
 		ExitReport{MemberReport{Query: 5, Epoch: 2, Object: 98, Pos: geo.Pt(9, 10), At: 19}},
@@ -49,6 +55,11 @@ func sampleMessages() []Message {
 				AnswerRadius: 2, Radius: 3, At: 37}},
 		NodeForward{Home: 7, Region: geo.Circle{Center: geo.Pt(9, 9), R: -1},
 			Inner: MonitorCancel{Query: 5, Epoch: 4}},
+		NodeForward{Home: 3, Version: 6, Region: geo.Circle{Center: geo.Pt(50, 60), R: 120},
+			Inner: InfluenceInstall{Install: MonitorInstall{Query: 7, Epoch: 4,
+				QueryPos: geo.Pt(50, 60), QueryVel: geo.Vec(1, -1),
+				AnswerRadius: 80, Radius: 120, At: 19},
+				Frontier: 64.25, Band: 5.5}},
 		NodeRelay{Origin: 42, Hops: 1,
 			Inner: EnterReport{MemberReport{Query: 5, Epoch: 4, Object: 42, Pos: geo.Pt(5, 6), At: 38}}},
 		NodeRelay{Origin: 43, Hops: 3, Version: 2,
@@ -62,6 +73,7 @@ func sampleMessages() []Message {
 		QueryHandoff{Query: 8, K: 4, Addr: 1001, QPos: geo.Pt(515, 505), QVel: geo.Vec(2, 0), QAt: 43,
 			Epoch: 6, Installed: true, AnswerRadius: 80.5, Radius: 161, InstalledAt: 40,
 			PrevRegion: geo.Circle{Center: geo.Pt(510, 505), R: 150}, AnswerSeq: 15, LastProbeAt: 12,
+			Frontier: 70.5, Band: 4.75,
 			Candidates: []CandidateRecord{{ID: 4, Pos: geo.Pt(520, 500)}, {ID: 9, Pos: geo.Pt(500, 510)}},
 			Inside:     []model.ObjectID{4, 9},
 			Sent:       []model.ObjectID{4, 9},
@@ -224,6 +236,36 @@ func TestMonitorInstallRegion(t *testing.T) {
 	r := m.Region()
 	if r.Center != geo.Pt(5, 6) || r.R != 7 {
 		t.Fatalf("Region = %v", r)
+	}
+	ii := InfluenceInstall{Install: m, Frontier: 3}
+	if ii.Region() != r {
+		t.Fatalf("InfluenceInstall.Region = %v, want %v", ii.Region(), r)
+	}
+}
+
+// A NaN, infinite, or negative threshold must be rejected at decode —
+// on an object agent it would silently disable (or permanently force)
+// reporting. The check runs for the bare install, the same install
+// nested in a NodeForward, and the handoff thresholds on the peer wire.
+func TestDecodeBadThreshold(t *testing.T) {
+	install := MonitorInstall{Query: 7, Epoch: 4, QueryPos: geo.Pt(50, 60),
+		AnswerRadius: 80, Radius: 120, At: 19}
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1}
+	for _, v := range bad {
+		for _, m := range []Message{
+			InfluenceInstall{Install: install, Frontier: v, Band: 1},
+			InfluenceInstall{Install: install, Frontier: 64, Band: v},
+			NodeForward{Home: 1, Region: install.Region(),
+				Inner: InfluenceInstall{Install: install, Frontier: v}},
+			QueryHandoff{Query: 8, K: 4, Addr: 1001, Frontier: v},
+			QueryHandoff{Query: 8, K: 4, Addr: 1001, Frontier: 70, Band: v},
+		} {
+			_, err := Decode(Encode(nil, m))
+			if !errors.Is(err, ErrBadThreshold) {
+				t.Errorf("%v with threshold %v: err = %v, want ErrBadThreshold",
+					m.Kind(), v, err)
+			}
+		}
 	}
 }
 

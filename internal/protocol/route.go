@@ -23,6 +23,8 @@ func QueryOf(m Message) (model.QueryID, bool) {
 		return v.Query, true
 	case MonitorInstall:
 		return v.Query, true
+	case InfluenceInstall:
+		return v.Install.Query, true
 	case MonitorCancel:
 		return v.Query, true
 	case EnterReport:

@@ -18,6 +18,7 @@ func TestQueryOf(t *testing.T) {
 		ProbeRequest{Query: q},
 		ProbeReply{Query: q},
 		MonitorInstall{Query: q},
+		InfluenceInstall{Install: MonitorInstall{Query: q}},
 		MonitorCancel{Query: q},
 		EnterReport{MemberReport{Query: q}},
 		ExitReport{MemberReport{Query: q}},

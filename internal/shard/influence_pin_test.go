@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"dmknn/internal/core"
+	"dmknn/internal/metrics"
+	"dmknn/internal/sim"
+	"dmknn/internal/simnet"
+)
+
+// wireDigest collapses a complete wire transcript — every send and
+// delivery event with all its fields, the per-direction counters and
+// byte totals, the final RNG stream positions, and the client-visible
+// answers — into one hash. Two runs with equal digests are
+// byte-identical on the client wire.
+func wireDigest(w *wireRun) string {
+	h := sha256.New()
+	for _, e := range w.trace.events {
+		fmt.Fprintf(h, "e|%d|%d|%d|%d|%d|%d|%d|%d|%g\n",
+			e.At, e.Type, e.Node, e.Dir, e.Kind, e.Query, e.Object, e.Seq, e.Value)
+	}
+	for _, dir := range metrics.Directions() {
+		fmt.Fprintf(h, "c|%d|%d|%d|%d|%d|%d\n", dir,
+			w.counters.Sent(dir), w.counters.SentBytes(dir),
+			w.counters.Delivered(dir), w.counters.Dropped(dir), w.dups[dir])
+	}
+	fmt.Fprintf(h, "rng|%g|%g\n", w.baseBurn, w.faultBurn)
+	for _, a := range w.answers {
+		fmt.Fprintf(h, "a|%d|%d", a.Query, a.At)
+		for _, n := range a.Neighbors {
+			fmt.Fprintf(h, "|%d:%g", n.ID, n.Dist)
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// prePRWireDigests pins the client wire of the engine as it stood
+// before influence-mode safe regions existed (commit "Adaptive
+// partitioning: load-aware strip rebalancing with live migration"),
+// captured by running wireDigest over the same scenarios at that
+// commit. With Config.Influence left off, the engine must keep
+// producing these transcripts byte for byte: same message sequences,
+// same wire bytes, same loss draws, same answers.
+var prePRWireDigests = map[string]string{
+	"seed=1/clean-L0": "c51150dbe69a936ebd68c1bfc8666b80c27a2dccc9601c9ea1f54f4972542415",
+	"seed=1/loss-L0":  "c629cef3fd9b7acf455b43349e50e5c5406110b92db1a808a32ba0c65a04b732",
+	"seed=1/burst-L0": "c7243cd20148f7f452e27952606dda72be8a1ebe2cefd00291a3aa58ec96b078",
+	"seed=1/delta-L0": "c109dbe587b99bbb5dc540b21c64b85f464cfa74f5099dc1264107f6887af8e4",
+	"seed=2/clean-L0": "168a9510dc3a63780f7f88609df9985b060f8cfd92ae45f296f162ed096cadec",
+	"seed=2/loss-L0":  "4deed45017ff0267347e71f47384e2476d75d65ba82d91e5f476cf0d0037718b",
+	"seed=2/burst-L0": "b867c50fabeb70b2bb819da74b493985c5b70c9d7ae4e753d9913a3365148d43",
+	"seed=2/delta-L0": "52afd3891108779a877e6d305a59a12be78444619548f61a61ea542675c61ce8",
+	"seed=3/clean-L0": "2103065ff49db82bf8487b8e6543858a427c96b05d5bf866cf3c7eb485996369",
+	"seed=3/loss-L0":  "9e96017d95d6c41b5a5b74c292d690d058cedc22dc762ab26632806ecedc98c0",
+	"seed=3/burst-L0": "771e3f7d77897c64dfcae044da779482bf010c3df40a3f80dbc315dc59f06d22",
+	"seed=3/delta-L0": "c38f4d4d7170d6d0ae453b5e6f0e3c087dc5f711461ebd0c037e1ce6d9d7715a",
+	"seed=4/clean-L0": "2eed4e6a4b367fb586630affe1a77c00ac648039003f300606eaa4451dbe03cd",
+	"seed=4/loss-L0":  "75f27dc755339e257fb04f9e2aa8bf9aeeaa21e178b838d18d7e124ae6f5aa8c",
+	"seed=4/burst-L0": "adeb81e68bc8ea46525a6df42bd1788f1d222e77ced97f815e6d0ee75f7ad21d",
+	"seed=4/delta-L0": "c76a242cf24f355a42692837d07081888b92e0698e280861e2095b364328fa81",
+}
+
+// The influence-off identity pin: with Influence off (the zero value),
+// the single server reproduces the pre-influence wire transcript
+// exactly — across clean, plain-loss, burst-loss, and delta-answer
+// channels and 4 seeds — and the batched sharded pipeline still matches
+// it event for event. Any unconditional change the influence path
+// leaks into install timing, message sizing, or RNG consumption breaks
+// a digest here before it can silently shift the goldens.
+func TestInfluenceOffWireIdentity(t *testing.T) {
+	base := proto()
+	base.Influence = false
+	delta := base
+	delta.DeltaAnswers = true
+	delta.ResyncTicks = 16
+
+	type scenario struct {
+		name  string
+		proto core.Config
+		mut   func(*sim.Config)
+	}
+	scenarios := []scenario{
+		{name: "clean-L0", proto: base, mut: func(c *sim.Config) {}},
+		{name: "loss-L0", proto: base, mut: func(c *sim.Config) {
+			c.UplinkLoss = 0.08
+			c.DownlinkLoss = 0.05
+			c.BroadcastLoss = 0.12
+		}},
+		{name: "burst-L0", proto: base, mut: func(c *sim.Config) {
+			c.UplinkLoss = 0.05
+			c.Faults.BroadcastGE = simnet.BurstLoss(0.2, 4)
+			c.Faults.UplinkGE = simnet.BurstLoss(0.1, 3)
+		}},
+		{name: "delta-L0", proto: delta, mut: func(c *sim.Config) {}},
+	}
+
+	const ticks = 45
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, sc := range scenarios {
+			sc := sc
+			seed := seed
+			key := fmt.Sprintf("seed=%d/%s", seed, sc.name)
+			t.Run(key, func(t *testing.T) {
+				t.Parallel()
+				cfg := propertyBase(seed)
+				sc.mut(&cfg)
+				sync := runWire(t, cfg, func() (sim.Method, error) { return core.New(sc.proto) }, ticks)
+				if got, want := wireDigest(sync), prePRWireDigests[key]; got != want {
+					t.Errorf("influence-off wire changed vs pre-influence pin:\n got  %s\n want %s", got, want)
+				}
+				batched := runWire(t, cfg, func() (sim.Method, error) {
+					return NewBatchedMethod(2, sc.proto)
+				}, ticks)
+				compareWires(t, "influence-off/shards=2", true, sync, batched)
+			})
+		}
+	}
+}

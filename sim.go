@@ -169,6 +169,7 @@ func (p Protocol) internal() core.Config {
 		cfg.MinProbeRadius = p.MinProbeRadius
 	}
 	cfg.DeltaAnswers = p.DeltaAnswers
+	cfg.Influence = p.Influence
 	return cfg
 }
 
